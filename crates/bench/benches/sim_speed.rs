@@ -1,0 +1,92 @@
+//! Criterion benches: simulation speed (paper §VI-B).
+//!
+//! "MosaicSim has a competitive simulation speed, achieving a
+//! single-threaded speed of up to 0.47 MIPS ... comparable to Sniper
+//! (up to 0.45 MIPS) and one order of magnitude better than gem5
+//! (up to 0.053 MIPS)."
+//!
+//! These benches measure the two pipeline halves separately — trace
+//! generation (the DTG) and timing simulation — and print the achieved
+//! simulated-MIPS alongside the criterion timings.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mosaic_core::{xeon_memory, SystemBuilder};
+use mosaic_kernels::build_parboil;
+use mosaic_tile::CoreConfig;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    for name in ["sgemm", "spmv"] {
+        let p = build_parboil(name, 1);
+        group.bench_function(name, |b| {
+            b.iter(|| p.trace(1).expect("trace"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_timing_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timing_simulation");
+    group.sample_size(10);
+    for name in ["sgemm", "spmv", "stencil"] {
+        let p = build_parboil(name, 1);
+        let (trace, _) = p.trace(1).expect("trace");
+        let module = Arc::new(p.module.clone());
+        let trace = Arc::new(trace);
+        let insts = trace.total_retired();
+        // Report simulated MIPS once per kernel (outside criterion's
+        // sampling, for the paper's §VI-B comparison).
+        let start = Instant::now();
+        let report = SystemBuilder::new(module.clone(), trace.clone())
+            .memory(xeon_memory())
+            .core(CoreConfig::out_of_order(), p.func, 0)
+            .run()
+            .expect("simulate");
+        let wall = start.elapsed().as_secs_f64();
+        println!(
+            "[sim-speed] {name}: {} instrs in {:.3}s = {:.2} simulated MIPS ({} cycles)",
+            insts,
+            wall,
+            insts as f64 / wall / 1e6,
+            report.cycles
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                SystemBuilder::new(module.clone(), trace.clone())
+                    .memory(xeon_memory())
+                    .core(CoreConfig::out_of_order(), p.func, 0)
+                    .run()
+                    .expect("simulate")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_accelerator_models(c: &mut Criterion) {
+    use mosaic_accel::{analytic_estimate, rtl_cycles, AccelConfig};
+    use mosaic_ir::AccelOp;
+    let cfg = AccelConfig::default();
+    let args = [0i64, 0, 0, 1024, 1024, 1024];
+    let mut group = c.benchmark_group("accelerator_models");
+    group.bench_function("analytic_sgemm_1k", |b| {
+        b.iter(|| analytic_estimate(AccelOp::Sgemm, &args, &cfg));
+    });
+    group.bench_function("rtl_level_sgemm_1k", |b| {
+        b.iter(|| rtl_cycles(AccelOp::Sgemm, &args, &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_timing_simulation,
+    bench_accelerator_models
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Per-kernel characterization report — the kind of whole-suite summary a
+//! MosaicSim user generates when triaging where to spend hardware
+//! (paper §II: "modeling compute or memory bottlenecks in order to
+//! provide hardware designers with the necessary insight").
+//!
+//! Prints a CSV so the output drops straight into plotting scripts:
+//! `characterize [scale]` (default scale 1).
+
+use mosaic_bench::run_spmd;
+use mosaic_core::{xeon_memory, EnergyModel};
+use mosaic_kernels::{build_parboil, PARBOIL_NAMES};
+use mosaic_tile::CoreConfig;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let energy = EnergyModel::default();
+    println!(
+        "kernel,cycles,retired,ipc,l1_miss_pct,llc_miss_pct,dram_lines,atomics,\
+         mispredicts,core_nj,mem_nj,edp_js,bound"
+    );
+    for name in PARBOIL_NAMES {
+        let p = build_parboil(name, scale);
+        let r = run_spmd(&p, 1, CoreConfig::out_of_order(), xeon_memory());
+        let l1_total = r.mem.l1_hits + r.mem.l1_misses;
+        let llc_total = r.mem.llc_hits + r.mem.llc_misses;
+        let l1_miss = if l1_total > 0 {
+            100.0 * r.mem.l1_misses as f64 / l1_total as f64
+        } else {
+            0.0
+        };
+        let llc_miss = if llc_total > 0 {
+            100.0 * r.mem.llc_misses as f64 / llc_total as f64
+        } else {
+            0.0
+        };
+        // The paper's rule of thumb (§VI-A): low IPC = memory-bound.
+        let bound = if r.ipc() < 1.5 {
+            "memory"
+        } else if r.ipc() < 3.0 {
+            "mixed"
+        } else {
+            "compute"
+        };
+        println!(
+            "{},{},{},{:.3},{:.1},{:.1},{},{},{},{:.1},{:.1},{:.3e},{}",
+            name,
+            r.cycles,
+            r.total_retired,
+            r.ipc(),
+            l1_miss,
+            llc_miss,
+            r.mem.dram_reads,
+            r.mem.atomics,
+            r.tiles[0].mispredicts,
+            r.core_energy_pj / 1e3,
+            r.mem_energy_pj / 1e3,
+            r.edp_js(&energy),
+            bound
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 1: 42 years of microprocessor trend data (intro figure).
+//!
+//! The paper recreates Karl Rupp's public dataset; decade-resolution
+//! samples of the same public data are embedded here so the repository
+//! regenerates the figure's series without network access.
+
+/// `(year, transistors_thousands, frequency_mhz, typical_power_w,
+/// logical_cores, single_thread_perf)`.
+const TRENDS: [(u32, f64, f64, f64, f64, f64); 11] = [
+    (1975, 5.0, 1.0, 1.0, 1.0, 0.02),
+    (1980, 30.0, 5.0, 2.0, 1.0, 0.1),
+    (1985, 275.0, 16.0, 3.0, 1.0, 0.4),
+    (1990, 1200.0, 33.0, 5.0, 1.0, 2.0),
+    (1995, 5500.0, 150.0, 15.0, 1.0, 20.0),
+    (2000, 42000.0, 1000.0, 35.0, 1.0, 300.0),
+    (2005, 300000.0, 3000.0, 90.0, 2.0, 1500.0),
+    (2010, 1200000.0, 3300.0, 100.0, 6.0, 5000.0),
+    (2015, 5000000.0, 3500.0, 110.0, 12.0, 8000.0),
+    (2017, 10000000.0, 3700.0, 120.0, 18.0, 10000.0),
+    (2019, 20000000.0, 3800.0, 140.0, 32.0, 11000.0),
+];
+
+fn main() {
+    println!("Fig. 1 — microprocessor trend data (decade samples of the public dataset)");
+    println!(
+        "{:>6} {:>14} {:>10} {:>8} {:>7} {:>12}",
+        "year", "transistors_k", "freq_MHz", "power_W", "cores", "st_perf"
+    );
+    for (y, t, f, p, c, s) in TRENDS {
+        println!("{y:>6} {t:>14.0} {f:>10.0} {p:>8.0} {c:>7.0} {s:>12.2}");
+    }
+    println!("\nFrequency plateaus after ~2005 while logical cores keep climbing —");
+    println!("the motivation for heterogeneous parallelism the paper opens with.");
+}

@@ -1,0 +1,38 @@
+//! Fig. 5: per-benchmark runtime accuracy of MosaicSim against the
+//! reference machine model.
+//!
+//! The paper measures simulated cycles against an Intel Xeon E5-2667 v3
+//! profiled with VTune and reports a geomean accuracy factor of 1.099×,
+//! with individual benchmarks both above and below 1 because LLVM IR does
+//! not map 1-to-1 onto x86 instructions (gep+load vs one MOV, etc.).
+//! Here the Xeon is replaced by the **ISA-tuned reference model** — the
+//! same engine with x86-like macro-op fusion, a dynamic-predictor-class
+//! branch model, and Haswell-class window/LSQ sizes (see DESIGN.md §1) —
+//! so the accuracy gap arises from exactly the mechanism the paper
+//! describes.
+
+use mosaic_bench::{geomean, run_spmd};
+use mosaic_core::xeon_memory;
+use mosaic_kernels::{build_parboil, PARBOIL_NAMES};
+use mosaic_tile::CoreConfig;
+
+fn main() {
+    println!("Fig. 5 — runtime accuracy factor (MosaicSim cycles / reference cycles)");
+    println!("{:<14} {:>12} {:>12} {:>9}", "benchmark", "mosaic", "reference", "factor");
+    let mut factors = Vec::new();
+    for name in PARBOIL_NAMES {
+        let p = build_parboil(name, 1);
+        let mosaic = run_spmd(&p, 1, CoreConfig::out_of_order(), xeon_memory());
+        let reference = run_spmd(&p, 1, CoreConfig::x86_reference(), xeon_memory());
+        let factor = mosaic.cycles as f64 / reference.cycles as f64;
+        factors.push(factor);
+        println!(
+            "{:<14} {:>12} {:>12} {:>8.2}x",
+            name, mosaic.cycles, reference.cycles, factor
+        );
+    }
+    println!(
+        "\ngeomean accuracy factor: {:.3}x   (paper: 1.099x, spread 0.16x–3.29x)",
+        geomean(&factors)
+    );
+}

@@ -1,0 +1,46 @@
+//! Figs. 7–9: multicore scaling of BFS (latency-bound), SGEMM
+//! (compute-bound), and SPMV (bandwidth-bound), for both MosaicSim's
+//! default model and the reference machine model standing in for the
+//! paper's x86 measurements.
+//!
+//! Expected shapes (paper §VI-A): SGEMM scales near-linearly; SPMV scales
+//! sublinearly as DRAM bandwidth throttles; BFS scales worst because of
+//! its atomic read-modify-writes.
+
+use mosaic_bench::run_spmd;
+use mosaic_core::xeon_memory;
+use mosaic_kernels::build_parboil;
+use mosaic_tile::CoreConfig;
+
+fn main() {
+    let threads = [1usize, 2, 4, 8];
+    for (fig, name, scale) in [("Fig. 7", "bfs", 2), ("Fig. 8", "sgemm", 1), ("Fig. 9", "spmv", 4)] {
+        println!("{fig} — {name} scaling (speedup over 1 thread)");
+        println!(
+            "{:>8} {:>12} {:>10} {:>12} {:>10}",
+            "threads", "mosaic cyc", "speedup", "ref cyc", "speedup"
+        );
+        let mut base_m = 0f64;
+        let mut base_r = 0f64;
+        for &t in &threads {
+            let p = build_parboil(name, scale);
+            let m = run_spmd(&p, t, CoreConfig::out_of_order(), xeon_memory());
+            let p = build_parboil(name, scale);
+            let r = run_spmd(&p, t, CoreConfig::x86_reference(), xeon_memory());
+            if t == 1 {
+                base_m = m.cycles as f64;
+                base_r = r.cycles as f64;
+            }
+            println!(
+                "{:>8} {:>12} {:>9.2}x {:>12} {:>9.2}x   (throttled {})",
+                t,
+                m.cycles,
+                base_m / m.cycles as f64,
+                r.cycles,
+                base_r / r.cycles as f64,
+                m.dram_throttled
+            );
+        }
+        println!();
+    }
+}

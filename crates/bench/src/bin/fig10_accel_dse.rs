@@ -1,0 +1,89 @@
+//! Fig. 10: accelerator design-space exploration.
+//!
+//! Parts a–c: execution time vs area for the matrix-multiplication,
+//! histogram, and element-wise accelerators across four PLM sizes and
+//! four workload sizes (256 KB – 16 MB).
+//!
+//! Part d: average accuracy of the back-annotated analytic performance
+//! model against RTL-level simulation (paper: 97–100%) and against
+//! full-system FPGA emulation (paper: 89–93%).
+
+use mosaic_accel::{analytic_estimate, fpga_cycles, rtl_cycles, AccelConfig};
+use mosaic_ir::AccelOp;
+
+/// `(accelerator, workload builder)` — workload sizes are chosen so the
+/// *input footprint* matches the paper's 256 KB / 1 MB / 4 MB / 16 MB.
+fn workload(accel: AccelOp, bytes: u64) -> Vec<i64> {
+    match accel {
+        // SGEMM input = 8n² bytes (two n×n f32 matrices).
+        AccelOp::Sgemm => {
+            let n = ((bytes as f64 / 8.0).sqrt()) as i64;
+            vec![0, 0, 0, n, n, n]
+        }
+        // Histogram input = 4n bytes.
+        AccelOp::Histogram => vec![0, 0, (bytes / 4) as i64, 256],
+        // Element-wise input = 8n bytes.
+        AccelOp::ElementWise => vec![0, 0, 0, (bytes / 8) as i64],
+        _ => unreachable!("Fig. 10 covers three accelerators"),
+    }
+}
+
+fn main() {
+    let plms = [4u64 * 1024, 16 * 1024, 64 * 1024, 256 * 1024];
+    let workloads: [(u64, &str); 4] = [
+        (256 << 10, "256KB"),
+        (1 << 20, "1MB"),
+        (4 << 20, "4MB"),
+        (16 << 20, "16MB"),
+    ];
+    let accels = [
+        (AccelOp::Sgemm, "Fig. 10a — Matrix multiplication"),
+        (AccelOp::Histogram, "Fig. 10b — Histogram"),
+        (AccelOp::ElementWise, "Fig. 10c — Element-wise"),
+    ];
+
+    let mut rtl_acc: Vec<(AccelOp, f64)> = Vec::new();
+    let mut fpga_acc: Vec<(AccelOp, f64)> = Vec::new();
+
+    for (accel, title) in accels {
+        println!("{title}: execution time [cycles] per (PLM, workload); area [um^2]");
+        print!("{:>8} {:>12}", "PLM", "area");
+        for (_, label) in &workloads {
+            print!(" {:>12}", label);
+        }
+        println!();
+        let mut accs_r = Vec::new();
+        let mut accs_f = Vec::new();
+        for &plm in &plms {
+            let config = AccelConfig::default().with_plm_bytes(plm);
+            print!("{:>6}KB {:>12.0}", plm / 1024, config.area_um2());
+            for &(bytes, _) in &workloads {
+                let args = workload(accel, bytes);
+                let exact = rtl_cycles(accel, &args, &config);
+                print!(" {:>12}", exact.cycles);
+                let fast = analytic_estimate(accel, &args, &config);
+                let fpga = fpga_cycles(accel, &args, &config);
+                accs_r.push(
+                    (fast.cycles as f64 / exact.cycles as f64)
+                        .min(exact.cycles as f64 / fast.cycles as f64),
+                );
+                accs_f.push(
+                    (fast.cycles as f64 / fpga.cycles as f64)
+                        .min(fpga.cycles as f64 / fast.cycles as f64),
+                );
+            }
+            println!();
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        rtl_acc.push((accel, avg(&accs_r)));
+        fpga_acc.push((accel, avg(&accs_f)));
+        println!();
+    }
+
+    println!("Fig. 10d — execution time accuracy of the analytic model");
+    println!("{:<16} {:>12} {:>14}", "accelerator", "vs RTL sim", "vs FPGA emu");
+    for ((accel, r), (_, f)) in rtl_acc.iter().zip(&fpga_acc) {
+        println!("{:<16} {:>11.0}% {:>13.0}%", accel.name(), r * 100.0, f * 100.0);
+    }
+    println!("(paper: matmul 99%/90%, histo 99%/93%, elementwise 97%/89%)");
+}

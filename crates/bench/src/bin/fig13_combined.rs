@@ -1,0 +1,106 @@
+//! Fig. 13: the combined sparse+dense kernel across workload mixes
+//! (paper §VII-B).
+//!
+//! The combined application runs SGEMM and EWSD serially; systems are
+//! evaluated on all three mixes. As in the paper, the phases execute
+//! back-to-back, so a system's runtime is the sum of its phase runtimes;
+//! heterogeneous systems route each phase to the tile that suits it
+//! (accelerator for SGEMM, DAE pairs for EWSD).
+//!
+//! Expected shape: without the accelerator, sparse-heavy favors DAE and
+//! dense-heavy favors the OoO core; with the accelerator, DAE + accel
+//! wins every mix.
+
+use mosaic_accel::{AccelBank, AccelConfig};
+use mosaic_bench::{bar, run_dae_pairs, run_spmd, run_with_accel};
+use mosaic_core::{dae_channel, dae_memory};
+use mosaic_ir::AccelOp;
+use mosaic_kernels::sinkhorn::{self, Mix};
+use mosaic_passes::{slice_dae, DaeQueues};
+use mosaic_tile::CoreConfig;
+
+/// Phase runtimes (cycles) of SGEMM and EWSD at the sizes of `mix`.
+struct Phases {
+    dim: usize,
+    nnz_scale: u32,
+}
+
+impl Phases {
+    fn of(mix: Mix) -> Phases {
+        let (dim, nnz) = mix.sizes(1);
+        Phases {
+            dim,
+            nnz_scale: (nnz / sinkhorn::BASE_NNZ.max(1)).max(1) as u32,
+        }
+    }
+
+    fn sgemm(&self) -> mosaic_kernels::Prepared {
+        mosaic_kernels::parboil::sgemm::build_with_dims(self.dim, self.dim, self.dim)
+    }
+
+    fn ewsd(&self) -> mosaic_kernels::Prepared {
+        sinkhorn::ewsd(self.nnz_scale)
+    }
+}
+
+fn main() {
+    println!("Fig. 13 — combined SGEMM+EWSD kernel (speedup vs 1 IO core)\n");
+    for mix in [Mix::DenseHeavy, Mix::Equal, Mix::SparseHeavy] {
+        let ph = Phases::of(mix);
+        let base = {
+            let d = run_spmd(&ph.sgemm(), 1, CoreConfig::in_order(), dae_memory()).cycles;
+            let s = run_spmd(&ph.ewsd(), 1, CoreConfig::in_order(), dae_memory()).cycles;
+            (d + s) as f64
+        };
+        let homog = |cores: usize, cfg: CoreConfig| {
+            let d = run_spmd(&ph.sgemm(), cores, cfg.clone(), dae_memory()).cycles;
+            let s = run_spmd(&ph.ewsd(), cores, cfg, dae_memory()).cycles;
+            (d + s) as f64
+        };
+        let dae = |accel: bool| {
+            let s = {
+                let mut p = ph.ewsd();
+                let slices =
+                    slice_dae(&mut p.module, p.func, DaeQueues::default()).expect("ewsd slices");
+                run_dae_pairs(&p, slices, 4, dae_memory(), dae_channel())
+                    .expect("drains")
+                    .cycles
+            };
+            let d = if accel {
+                let p = sinkhorn_accel(ph.dim);
+                let mut bank = AccelBank::new();
+                bank.configure(AccelOp::Sgemm, AccelConfig::default().with_plm_bytes(64 * 1024));
+                run_with_accel(&p, CoreConfig::out_of_order(), dae_memory(), bank).cycles
+            } else {
+                let mut p = ph.sgemm();
+                let slices =
+                    slice_dae(&mut p.module, p.func, DaeQueues::default()).expect("sgemm slices");
+                run_dae_pairs(&p, slices, 4, dae_memory(), dae_channel())
+                    .expect("drains")
+                    .cycles
+            };
+            (d + s) as f64
+        };
+
+        println!("{} ({}³ dense, {}x sparse):", mix.label(), ph.dim, ph.nnz_scale);
+        let rows = [
+            ("4 IO".to_string(), homog(4, CoreConfig::in_order())),
+            ("8 IO".to_string(), homog(8, CoreConfig::in_order())),
+            ("1 OoO".to_string(), homog(1, CoreConfig::out_of_order())),
+            ("4+4 IO DAE".to_string(), dae(false)),
+            ("4+4 IO DAE w/Accel".to_string(), dae(true)),
+        ];
+        for (name, cycles) in rows {
+            let s = base / cycles;
+            println!("  {:<20} {:>7.2}x  {}", name, s, bar(s, 0.5));
+        }
+        println!();
+    }
+    println!("(paper: DAE+accelerator is the best choice for every mix)");
+}
+
+/// An accelerator-offload kernel at the mix's dense dimension.
+fn sinkhorn_accel(dim: usize) -> mosaic_kernels::Prepared {
+    let scale = (dim / sinkhorn::BASE_DIM.max(1)).max(1) as u32;
+    sinkhorn::accel_sgemm_micro(scale)
+}

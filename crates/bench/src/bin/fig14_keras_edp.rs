@@ -1,0 +1,107 @@
+//! Fig. 14: energy-delay-product improvement of an accelerator-oriented
+//! SoC over an out-of-order server core for the three Keras applications
+//! (paper §VII-C).
+//!
+//! Expected ordering: RecSys (entirely accelerated, paper 282.24×) ≫
+//! GraphSage (random walk + embedding stay on the CPU, 38×) ≫ ConvNet
+//! (convolution backprop stays on the CPU, 7.22×).
+//!
+//! Methodology: CPU phase costs are *calibrated*, not assumed — a dense
+//! MAC-loop kernel is simulated on the OoO core to measure its cycles per
+//! operation and memory-bound phases are costed by DRAM bandwidth; the
+//! accelerated SoC pays the analytic accelerator model's cycles plus the
+//! CPU cost of the non-accelerable layers.
+
+use mosaic_accel::{analytic_estimate, AccelConfig};
+use mosaic_bench::run_spmd;
+use mosaic_core::{xeon_memory, EnergyModel};
+use mosaic_kernels::keras::{all_apps, KerasApp};
+use mosaic_kernels::parboil::sgemm;
+use mosaic_tile::CoreConfig;
+
+/// Measures the OoO core's cycles-per-MAC on a dense kernel (calibration).
+fn cpu_cycles_per_op() -> f64 {
+    let p = sgemm::build_with_dims(48, 48, 48);
+    let r = run_spmd(&p, 1, CoreConfig::out_of_order(), xeon_memory());
+    let ops = 48u64 * 48 * 48;
+    r.cycles as f64 / ops as f64
+}
+
+/// Cost of running the whole app on the OoO core.
+fn cpu_cycles(app: &KerasApp, per_op: f64, bw_bytes_per_cycle: f64) -> f64 {
+    app.layers
+        .iter()
+        .map(|l| (l.ops as f64 * per_op).max(l.bytes as f64 / bw_bytes_per_cycle))
+        .sum()
+}
+
+/// Cost on the accelerator SoC: accelerable layers use the analytic
+/// models (8 instances available, as in the paper's SoC); the rest stay
+/// on the CPU.
+fn soc_cycles(app: &KerasApp, per_op: f64, bw: f64) -> (f64, f64) {
+    let config = AccelConfig::default().with_plm_bytes(128 * 1024);
+    let mut cycles = 0f64;
+    let mut accel_energy_pj = 0f64;
+    for l in &app.layers {
+        match &l.accel {
+            Some((op, args)) => {
+                let est = analytic_estimate(*op, args, &config);
+                cycles += est.cycles as f64;
+                accel_energy_pj += est.energy_pj;
+            }
+            None => cycles += (l.ops as f64 * per_op).max(l.bytes as f64 / bw),
+        }
+    }
+    (cycles, accel_energy_pj)
+}
+
+fn main() {
+    let energy = EnergyModel::default();
+    let per_op = cpu_cycles_per_op();
+    let bw = 21.25; // Table I DRAM bytes/cycle
+    println!("Fig. 14 — energy-delay improvement from hardware accelerators");
+    println!("(calibrated OoO cost: {per_op:.3} cycles/op)\n");
+    println!(
+        "{:<12} {:>10} {:>14} {:>14} {:>12}",
+        "app", "coverage", "cpu cycles", "soc cycles", "EDP gain"
+    );
+
+    // Energy: CPU = OoO area static + per-op dynamic; SoC = accelerator
+    // energy + CPU share for the non-accelerated phases + small-core static.
+    let ooo_area = CoreConfig::out_of_order().area_mm2;
+    let cpu_pj_per_op = 2.0; // OoO datapath energy per elementary op
+
+    for app in all_apps() {
+        let cpu_cyc = cpu_cycles(&app, per_op, bw);
+        let (soc_cyc, accel_pj) = soc_cycles(&app, per_op, bw);
+
+        // Both systems move the same data through DRAM.
+        let total_bytes: u64 = app.layers.iter().map(|l| l.bytes).sum();
+        let dram_pj = total_bytes as f64 / 64.0 * 2600.0;
+        let cpu_energy = app.total_ops() as f64 * cpu_pj_per_op
+            + dram_pj
+            + energy.static_energy_pj(ooo_area, cpu_cyc as u64);
+        let cpu_ops_on_soc: u64 = app
+            .layers
+            .iter()
+            .filter(|l| !l.is_accelerable())
+            .map(|l| l.ops)
+            .sum();
+        let soc_energy = accel_pj
+            + dram_pj
+            + cpu_ops_on_soc as f64 * cpu_pj_per_op
+            + energy.static_energy_pj(ooo_area, soc_cyc as u64);
+
+        let edp_cpu = energy.edp(cpu_energy, cpu_cyc as u64);
+        let edp_soc = energy.edp(soc_energy, soc_cyc as u64);
+        println!(
+            "{:<12} {:>9.0}% {:>14.0} {:>14.0} {:>10.1}x",
+            app.name,
+            app.accel_coverage() * 100.0,
+            cpu_cyc,
+            soc_cyc,
+            edp_cpu / edp_soc
+        );
+    }
+    println!("\n(paper: ConvNet 7.22x, GraphSage 38x, RecSys 282.24x)");
+}

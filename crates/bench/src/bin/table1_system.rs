@@ -1,0 +1,30 @@
+//! Table I: the evaluation system, as the configuration actually used by
+//! the reproduction's Fig. 5–9 harnesses.
+
+use mosaic_core::{print_table1, xeon_memory};
+
+fn main() {
+    print!("{}", print_table1());
+    let m = xeon_memory();
+    println!("\nAs instantiated by `mosaic_core::xeon_memory()`:");
+    println!(
+        "  L1  {} KB / {}-way / {} cycle(s)",
+        m.l1.size_bytes() / 1024,
+        m.l1.ways(),
+        m.l1.latency()
+    );
+    if let Some(l2) = &m.l2 {
+        println!(
+            "  L2  {} KB / {}-way / {} cycle(s)",
+            l2.size_bytes() / 1024,
+            l2.ways(),
+            l2.latency()
+        );
+    }
+    println!(
+        "  LLC {} MB / {}-way / {} cycle(s)",
+        m.llc.size_bytes() / 1024 / 1024,
+        m.llc.ways(),
+        m.llc.latency()
+    );
+}

@@ -1,0 +1,27 @@
+//! Table II: the DAE case-study parameters, as the configurations used by
+//! the Fig. 11–13 harnesses.
+
+use mosaic_core::{dae_channel, print_table2};
+use mosaic_tile::CoreConfig;
+
+fn main() {
+    print!("{}", print_table2());
+    let ooo = CoreConfig::out_of_order();
+    let ino = CoreConfig::in_order();
+    println!("\nAs instantiated:");
+    println!(
+        "  OoO: width {}, window/LSQ {}/{}, area {} mm^2",
+        ooo.issue_width, ooo.window_size, ooo.lsq_size, ooo.area_mm2
+    );
+    println!(
+        "  InO: width {}, window/LSQ {}/{}, area {} mm^2",
+        ino.issue_width, ino.window_size, ino.lsq_size, ino.area_mm2
+    );
+    let ch = dae_channel();
+    println!("  Comm buffers: {} entries, {}-cycle latency", ch.capacity, ch.latency);
+    println!(
+        "  Area equivalence: 8 x InO = {:.2} mm^2 vs 1 x OoO = {:.2} mm^2",
+        8.0 * ino.area_mm2,
+        ooo.area_mm2
+    );
+}

@@ -1,0 +1,180 @@
+//! # mosaic-bench
+//!
+//! Reproduction harnesses for every table and figure in the MosaicSim
+//! paper's evaluation (§VI, §VII). Each binary under `src/bin/` prints the
+//! rows/series of one table or figure:
+//!
+//! | Target | Reproduces |
+//! |---|---|
+//! | `fig01_trends` | Fig. 1 microprocessor trend data |
+//! | `table1_system` | Table I evaluation system |
+//! | `table2_dae_params` | Table II DAE case-study parameters |
+//! | `fig05_accuracy` | Fig. 5 per-benchmark runtime accuracy factors |
+//! | `fig06_ipc` | Fig. 6 IPC characterization |
+//! | `fig07_09_scaling` | Figs. 7–9 BFS/SGEMM/SPMV scaling |
+//! | `fig10_accel_dse` | Fig. 10 accelerator DSE + model accuracy |
+//! | `fig11_dae` | Fig. 11 graph-projection DAE speedups |
+//! | `fig12_microbench` | Fig. 12 EWSD / SGEMM microbenchmarks |
+//! | `fig13_combined` | Fig. 13 combined sparse+dense workloads |
+//! | `fig14_keras_edp` | Fig. 14 Keras EDP improvements |
+//! | `storage_report` | §VI-B trace storage requirements |
+//! | `ablations` | Design-choice ablations (DESIGN.md §4.5) |
+//!
+//! This library crate holds the shared harness utilities.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use mosaic_core::{record_trace, EnergyModel, SimError, SimReport, SystemBuilder};
+use mosaic_ir::TileProgram;
+use mosaic_kernels::Prepared;
+use mosaic_mem::HierarchyConfig;
+use mosaic_passes::DaeSlices;
+use mosaic_tile::{ChannelConfig, CoreConfig};
+
+/// Runs `prepared` on `tiles` SPMD copies of `core` over `memory`.
+///
+/// # Panics
+///
+/// Panics on trace or simulation failure (harness code).
+pub fn run_spmd(
+    prepared: &Prepared,
+    tiles: usize,
+    core: CoreConfig,
+    memory: HierarchyConfig,
+) -> SimReport {
+    let (trace, _) = prepared.trace(tiles).expect("trace");
+    let module = Arc::new(prepared.module.clone());
+    let trace = Arc::new(trace);
+    let mut builder = SystemBuilder::new(module, trace).memory(memory);
+    for t in 0..tiles {
+        builder = builder.core(core.clone().with_name(&format!("{}#{t}", core.name)), prepared.func, t);
+    }
+    builder.run().expect("simulate")
+}
+
+/// Runs `prepared` on one core with an accelerator bank attached.
+///
+/// # Panics
+///
+/// Panics on trace or simulation failure (harness code).
+pub fn run_with_accel(
+    prepared: &Prepared,
+    core: CoreConfig,
+    memory: HierarchyConfig,
+    bank: mosaic_accel::AccelBank,
+) -> SimReport {
+    let (trace, _) = prepared.trace(1).expect("trace");
+    SystemBuilder::new(Arc::new(prepared.module.clone()), Arc::new(trace))
+        .memory(memory)
+        .accelerators(Box::new(bank))
+        .core(core, prepared.func, 0)
+        .run()
+        .expect("simulate")
+}
+
+/// Runs `pairs` SPMD Decoupled Access/Execute pairs of a sliced kernel
+/// (paper §VII-A). Each pair gets a private queue namespace.
+///
+/// # Errors
+///
+/// Returns the simulation error if the system fails to drain.
+///
+/// # Panics
+///
+/// Panics if trace generation fails.
+pub fn run_dae_pairs(
+    prepared: &Prepared,
+    slices: DaeSlices,
+    pairs: usize,
+    memory: HierarchyConfig,
+    channel: ChannelConfig,
+) -> Result<SimReport, SimError> {
+    let mut programs = Vec::new();
+    for pair in 0..pairs {
+        let offset = 1000 * pair as u32;
+        let mut acc =
+            TileProgram::single(slices.access, prepared.args.clone()).with_queue_offset(offset);
+        acc.tile_id = pair as i64;
+        acc.num_tiles = pairs as i64;
+        let mut exe =
+            TileProgram::single(slices.execute, prepared.args.clone()).with_queue_offset(offset);
+        exe.tile_id = pair as i64;
+        exe.num_tiles = pairs as i64;
+        programs.push(acc);
+        programs.push(exe);
+    }
+    let (trace, _) = record_trace(&prepared.module, prepared.mem.clone(), &programs)
+        .expect("DAE trace generation");
+    let module = Arc::new(prepared.module.clone());
+    let trace = Arc::new(trace);
+    let mut builder = SystemBuilder::new(module, trace)
+        .memory(memory)
+        .channels(channel);
+    for pair in 0..pairs {
+        let offset = 1000 * pair as u32;
+        builder = builder
+            .core(
+                CoreConfig::dae_access()
+                    .with_name(&format!("access#{pair}"))
+                    .with_queue_offset(offset),
+                slices.access,
+                2 * pair,
+            )
+            .core(
+                CoreConfig::in_order()
+                    .with_name(&format!("execute#{pair}"))
+                    .with_queue_offset(offset),
+                slices.execute,
+                2 * pair + 1,
+            );
+    }
+    builder.run()
+}
+
+/// Geometric mean of a set of positive factors.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Energy-delay product of a report under the default energy model, J·s.
+pub fn edp(report: &SimReport) -> f64 {
+    report.edp_js(&EnergyModel::default())
+}
+
+/// Formats a speedup bar for terminal output.
+pub fn bar(value: f64, per_char: f64) -> String {
+    let n = ((value / per_char).round() as usize).min(72);
+    "#".repeat(n.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_known_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn bar_is_bounded() {
+        assert_eq!(bar(3.0, 1.0), "###");
+        assert!(bar(1000.0, 1.0).len() <= 72);
+        assert_eq!(bar(0.01, 1.0), "#");
+    }
+
+    #[test]
+    fn spmd_harness_runs() {
+        let p = mosaic_kernels::build_parboil("histo", 1);
+        let r = run_spmd(&p, 2, CoreConfig::out_of_order(), mosaic_core::small_memory());
+        assert!(r.cycles > 0);
+        assert_eq!(r.tiles.len(), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! System-level configuration presets reproducing the paper's tables.
+//!
+//! * [`xeon_memory`] — Table I: the Intel Xeon E5-2667 v3 evaluation
+//!   system (32 KB 8-way private L1s, 2 MB 8-way private L2s, 20 MB
+//!   20-way shared LLC, DDR4 at 68 GB/s).
+//! * [`dae_memory`] — Table II: the DAE case-study memory system (32 KB
+//!   8-way 1-cycle L1, 2 MB 8-way 6-cycle L2 as the shared level, DDR3L
+//!   at 24 GB/s with 200-cycle latency).
+//! * [`dae_channel`] — Table II: 512-entry, 1-cycle communication buffers.
+
+use mosaic_mem::{
+    CacheConfig, DramKind, HierarchyConfig, PrefetchConfig, SimpleDramConfig,
+};
+use mosaic_tile::ChannelConfig;
+
+/// Table I memory system (Xeon E5-2667 v3 at 3.2 GHz).
+///
+/// DRAM: 68 GB/s at 3.2 GHz ≈ 21.25 bytes/cycle.
+pub fn xeon_memory() -> HierarchyConfig {
+    HierarchyConfig {
+        l1: CacheConfig::new("L1-D", 32 * 1024).with_ways(8).with_latency(1),
+        l2: Some(
+            CacheConfig::new("L2", 2 * 1024 * 1024)
+                .with_ways(8)
+                .with_latency(6),
+        ),
+        llc: CacheConfig::new("LLC", 20 * 1024 * 1024)
+            .with_ways(20)
+            .with_latency(26),
+        mshr_entries: 16,
+        prefetch: PrefetchConfig::default(),
+        dram: DramKind::Simple(SimpleDramConfig::from_bandwidth(180, 21.25, 64)),
+        atomic_penalty: 14,
+        noc: None,
+    }
+}
+
+/// Table II memory system for the DAE case study (2 GHz, DDR3L 24 GB/s =
+/// 12 bytes/cycle, 200-cycle latency). The 2 MB L2 is the shared level.
+pub fn dae_memory() -> HierarchyConfig {
+    HierarchyConfig {
+        l1: CacheConfig::new("L1", 32 * 1024).with_ways(8).with_latency(1),
+        l2: None,
+        llc: CacheConfig::new("L2", 2 * 1024 * 1024)
+            .with_ways(8)
+            .with_latency(6),
+        mshr_entries: 16,
+        prefetch: PrefetchConfig::default(),
+        dram: DramKind::Simple(SimpleDramConfig::from_bandwidth(200, 12.0, 64)),
+        atomic_penalty: 20,
+        noc: None,
+    }
+}
+
+/// Table II communication buffers: 512 entries, 1-cycle latency.
+pub fn dae_channel() -> ChannelConfig {
+    ChannelConfig {
+        capacity: 512,
+        latency: 1,
+    }
+}
+
+/// A deliberately small memory system for fast unit tests and examples
+/// with kernel-sized footprints: caches shrink so the workloads of the
+/// reproduction actually exercise misses.
+pub fn small_memory() -> HierarchyConfig {
+    HierarchyConfig {
+        l1: CacheConfig::new("L1", 8 * 1024).with_ways(4).with_latency(1),
+        l2: None,
+        llc: CacheConfig::new("LLC", 256 * 1024).with_ways(8).with_latency(12),
+        mshr_entries: 16,
+        prefetch: PrefetchConfig::default(),
+        dram: DramKind::Simple(SimpleDramConfig {
+            min_latency: 120,
+            epoch_cycles: 128,
+            max_per_epoch: 24,
+        }),
+        atomic_penalty: 20,
+        noc: None,
+    }
+}
+
+/// Prints Table I in the paper's layout.
+pub fn print_table1() -> String {
+    let mut s = String::new();
+    s.push_str("TABLE I — EVALUATION SYSTEM DETAILS (Intel Xeon E5-2667 v3)\n");
+    s.push_str("  Sockets, Cores                 2 sockets, 8 cores each\n");
+    s.push_str("  Node Technology and Frequency  22nm, 3200 MHz\n");
+    s.push_str("  L1-I and L1-D                  32KB private / 8-way\n");
+    s.push_str("  L2                             2MB private / 8-way\n");
+    s.push_str("  LLC                            20MB shared / 20-way\n");
+    s.push_str("  DRAM                           128GB DDR4 @ 68GB/s\n");
+    s
+}
+
+/// Prints Table II in the paper's layout.
+pub fn print_table2() -> String {
+    let mut s = String::new();
+    s.push_str("TABLE II — PARAMETERS FOR DAE CASE-STUDY\n");
+    s.push_str("  Microarch Parameter      Out-of-Order     In-Order\n");
+    s.push_str("  Issue Width              4                1\n");
+    s.push_str("  Window/RoB/LSQ           128/128/128      1\n");
+    s.push_str("  Frequency/Tech           2GHz/22nm        2GHz/22nm\n");
+    s.push_str("  Area (mm^2)              8.44             1.01\n");
+    s.push_str("  L1                       32KB / 8-way / 1-cycle latency\n");
+    s.push_str("  L2                       2MB / 8-way / 6-cycle latency\n");
+    s.push_str("  DRAM                     DDR3L / 24GB/s BW / 200-cycle latency\n");
+    s.push_str("  Comm. Buffer Sizes       512 entries / 1-cycle latency\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_tile::CoreConfig;
+
+    #[test]
+    fn table1_parameters_match_paper() {
+        let m = xeon_memory();
+        assert_eq!(m.l1.size_bytes(), 32 * 1024);
+        assert_eq!(m.l1.ways(), 8);
+        let l2 = m.l2.expect("Xeon has private L2");
+        assert_eq!(l2.size_bytes(), 2 * 1024 * 1024);
+        assert_eq!(m.llc.size_bytes(), 20 * 1024 * 1024);
+        assert_eq!(m.llc.ways(), 20);
+    }
+
+    #[test]
+    fn table2_parameters_match_paper() {
+        let m = dae_memory();
+        assert_eq!(m.l1.size_bytes(), 32 * 1024);
+        assert_eq!(m.llc.size_bytes(), 2 * 1024 * 1024);
+        assert_eq!(m.llc.latency(), 6);
+        let ch = dae_channel();
+        assert_eq!(ch.capacity, 512);
+        assert_eq!(ch.latency, 1);
+        // Core presets from Table II.
+        let ooo = CoreConfig::out_of_order();
+        assert_eq!(ooo.issue_width, 4);
+        assert!((ooo.area_mm2 - 8.44).abs() < 1e-9);
+        let ino = CoreConfig::in_order();
+        assert_eq!(ino.issue_width, 1);
+        assert!((ino.area_mm2 - 1.01).abs() < 1e-9);
+        // Area equivalence: 8 InO ≈ 1 OoO (the Fig. 11 comparison).
+        assert!((8.0 * ino.area_mm2 - ooo.area_mm2).abs() < 0.4);
+    }
+
+    #[test]
+    fn tables_render() {
+        assert!(print_table1().contains("20MB shared"));
+        assert!(print_table2().contains("512 entries"));
+    }
+}

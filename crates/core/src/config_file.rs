@@ -1,0 +1,394 @@
+//! Configuration files (paper §VI-B).
+//!
+//! "MosaicSim provides a comprehensive set of both core and system
+//! configuration files that include a number of reconfigurable parameters
+//! (e.g. ROB size, issue-width, memory hierarchy details, etc.). These
+//! are straightforward to modify or extend."
+//!
+//! The format is a flat `key = value` file with `#` comments. Unknown
+//! keys are errors (typos should not silently fall back to defaults).
+//! Two example files ship in the repository's `configs/` directory.
+//!
+//! # Examples
+//!
+//! ```
+//! use mosaic_core::parse_system_config;
+//!
+//! let text = "
+//! core.name = demo # a 2-wide core on a small memory system
+//! core.issue_width = 2
+//! core.window_size = 64
+//! mem.l1.size_kb = 16
+//! mem.dram.bandwidth_bytes_per_cycle = 16
+//! ";
+//! let (core, mem) = parse_system_config(text)?;
+//! assert_eq!(core.issue_width, 2);
+//! assert_eq!(mem.l1.size_bytes(), 16 * 1024);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+use std::path::Path;
+
+use mosaic_mem::{
+    BankedDramConfig, CacheConfig, DramKind, HierarchyConfig, NocConfig, PrefetchConfig,
+    SimpleDramConfig,
+};
+use mosaic_tile::{BranchMode, CoreConfig};
+
+/// Errors from configuration parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A line was not `key = value` or a comment.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The key is not recognized.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown key.
+        key: String,
+    },
+    /// The value failed to parse for its key.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key.
+        key: String,
+        /// The unparsable value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Malformed { line, text } => {
+                write!(f, "line {line}: expected `key = value`, got `{text}`")
+            }
+            ConfigError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown configuration key `{key}`")
+            }
+            ConfigError::BadValue { line, key, value } => {
+                write!(f, "line {line}: bad value `{value}` for `{key}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+struct Raw {
+    line: usize,
+    key: String,
+    value: String,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Raw>, ConfigError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let t = raw.split('#').next().unwrap_or("").trim();
+        if t.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = t.split_once('=') else {
+            return Err(ConfigError::Malformed {
+                line,
+                text: t.to_string(),
+            });
+        };
+        out.push(Raw {
+            line,
+            key: k.trim().to_string(),
+            value: v.trim().to_string(),
+        });
+    }
+    Ok(out)
+}
+
+fn parse<T: std::str::FromStr>(r: &Raw) -> Result<T, ConfigError> {
+    r.value.parse().map_err(|_| ConfigError::BadValue {
+        line: r.line,
+        key: r.key.clone(),
+        value: r.value.clone(),
+    })
+}
+
+fn parse_bool(r: &Raw) -> Result<bool, ConfigError> {
+    match r.value.as_str() {
+        "true" | "on" | "yes" | "1" => Ok(true),
+        "false" | "off" | "no" | "0" => Ok(false),
+        _ => Err(ConfigError::BadValue {
+            line: r.line,
+            key: r.key.clone(),
+            value: r.value.clone(),
+        }),
+    }
+}
+
+/// Parses both a core and a memory configuration from one file. Keys not
+/// present keep [`CoreConfig::out_of_order`] / [`crate::xeon_memory`]
+/// defaults.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on malformed lines, unknown keys, or bad
+/// values.
+pub fn parse_system_config(text: &str) -> Result<(CoreConfig, HierarchyConfig), ConfigError> {
+    let mut core = CoreConfig::out_of_order();
+    let mut mem = crate::xeon_memory();
+    let mut l2 = mem.l2.clone();
+    let mut dram_kind = "simple".to_string();
+    let mut dram_latency: u64 = 180;
+    let mut dram_bw: f64 = 21.25;
+    let mut noc_width: u32 = 0;
+    let mut noc_hop: u64 = 2;
+
+    for r in tokenize(text)? {
+        match r.key.as_str() {
+            "core.name" => core.name = r.value.clone(),
+            "core.issue_width" => core.issue_width = parse(&r)?,
+            "core.window_size" => core.window_size = parse(&r)?,
+            "core.lsq_size" => core.lsq_size = parse(&r)?,
+            "core.branch" => {
+                core.branch = match r.value.as_str() {
+                    "none" => BranchMode::None,
+                    "static" => BranchMode::Static,
+                    "perfect" => BranchMode::Perfect,
+                    "bimodal" => BranchMode::Bimodal,
+                    _ => {
+                        return Err(ConfigError::BadValue {
+                            line: r.line,
+                            key: r.key.clone(),
+                            value: r.value.clone(),
+                        })
+                    }
+                }
+            }
+            "core.mispredict_penalty" => core.mispredict_penalty = parse(&r)?,
+            "core.alias_speculation" => core.alias_speculation = parse_bool(&r)?,
+            "core.live_dbb_limit" => {
+                let v: u32 = parse(&r)?;
+                core.live_dbb_limit = (v > 0).then_some(v);
+            }
+            "core.clock_divisor" => core.clock_divisor = parse(&r)?,
+            "core.area_mm2" => core.area_mm2 = parse(&r)?,
+            "core.desc_extensions" => core.desc_extensions = parse_bool(&r)?,
+            "core.desc_buffer" => core.desc_buffer = parse(&r)?,
+
+            "mem.l1.size_kb" => {
+                mem.l1 = CacheConfig::new("L1", parse::<u64>(&r)? * 1024)
+                    .with_ways(mem.l1.ways())
+                    .with_latency(mem.l1.latency());
+            }
+            "mem.l1.ways" => {
+                mem.l1 = CacheConfig::new("L1", mem.l1.size_bytes())
+                    .with_ways(parse(&r)?)
+                    .with_latency(mem.l1.latency());
+            }
+            "mem.l1.latency" => {
+                mem.l1 = CacheConfig::new("L1", mem.l1.size_bytes())
+                    .with_ways(mem.l1.ways())
+                    .with_latency(parse(&r)?);
+            }
+            "mem.l2.size_kb" => {
+                let kb: u64 = parse(&r)?;
+                l2 = (kb > 0).then(|| {
+                    let prev = l2.clone().unwrap_or_else(|| CacheConfig::new("L2", 1024));
+                    CacheConfig::new("L2", kb * 1024)
+                        .with_ways(prev.ways())
+                        .with_latency(prev.latency())
+                });
+            }
+            "mem.l2.ways" | "mem.l2.latency" => {
+                let prev = l2
+                    .clone()
+                    .unwrap_or_else(|| CacheConfig::new("L2", 2 * 1024 * 1024));
+                l2 = Some(if r.key.ends_with("ways") {
+                    CacheConfig::new("L2", prev.size_bytes())
+                        .with_ways(parse(&r)?)
+                        .with_latency(prev.latency())
+                } else {
+                    CacheConfig::new("L2", prev.size_bytes())
+                        .with_ways(prev.ways())
+                        .with_latency(parse(&r)?)
+                });
+            }
+            "mem.llc.size_kb" => {
+                mem.llc = CacheConfig::new("LLC", parse::<u64>(&r)? * 1024)
+                    .with_ways(mem.llc.ways())
+                    .with_latency(mem.llc.latency());
+            }
+            "mem.llc.ways" => {
+                mem.llc = CacheConfig::new("LLC", mem.llc.size_bytes())
+                    .with_ways(parse(&r)?)
+                    .with_latency(mem.llc.latency());
+            }
+            "mem.llc.latency" => {
+                mem.llc = CacheConfig::new("LLC", mem.llc.size_bytes())
+                    .with_ways(mem.llc.ways())
+                    .with_latency(parse(&r)?);
+            }
+            "mem.mshr_entries" => mem.mshr_entries = parse(&r)?,
+            "mem.prefetch" => {
+                mem.prefetch = if parse_bool(&r)? {
+                    PrefetchConfig::default()
+                } else {
+                    PrefetchConfig::disabled()
+                };
+            }
+            "mem.atomic_penalty" => mem.atomic_penalty = parse(&r)?,
+            "mem.dram" => {
+                dram_kind = r.value.clone();
+                if dram_kind != "simple" && dram_kind != "banked" {
+                    return Err(ConfigError::BadValue {
+                        line: r.line,
+                        key: r.key.clone(),
+                        value: r.value.clone(),
+                    });
+                }
+            }
+            "mem.dram.latency" => dram_latency = parse(&r)?,
+            "mem.dram.bandwidth_bytes_per_cycle" => dram_bw = parse(&r)?,
+            "mem.noc.mesh_width" => noc_width = parse(&r)?,
+            "mem.noc.hop_latency" => noc_hop = parse(&r)?,
+            _ => {
+                return Err(ConfigError::UnknownKey {
+                    line: r.line,
+                    key: r.key.clone(),
+                })
+            }
+        }
+    }
+
+    mem.l2 = l2;
+    mem.dram = if dram_kind == "banked" {
+        DramKind::Banked(BankedDramConfig::default())
+    } else {
+        DramKind::Simple(SimpleDramConfig::from_bandwidth(dram_latency, dram_bw, 64))
+    };
+    mem.noc = (noc_width > 0).then_some(NocConfig {
+        mesh_width: noc_width,
+        hop_latency: noc_hop,
+    });
+    Ok((core, mem))
+}
+
+/// Loads a system configuration from a file.
+///
+/// # Errors
+///
+/// Returns I/O errors wrapped as [`ConfigError::Malformed`] on read
+/// failure, or parse errors from [`parse_system_config`].
+pub fn load_system_config(path: impl AsRef<Path>) -> Result<(CoreConfig, HierarchyConfig), ConfigError> {
+    let text = std::fs::read_to_string(&path).map_err(|e| ConfigError::Malformed {
+        line: 0,
+        text: format!("{}: {e}", path.as_ref().display()),
+    })?;
+    parse_system_config(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_round_trip() {
+        let text = "
+            # DAE-style in-order core
+            core.name = access
+            core.issue_width = 1
+            core.window_size = 1
+            core.lsq_size = 1
+            core.branch = static
+            core.mispredict_penalty = 4
+            core.alias_speculation = off
+            core.area_mm2 = 1.01
+            core.desc_extensions = on
+            core.desc_buffer = 4
+
+            mem.l1.size_kb = 32
+            mem.l1.ways = 8
+            mem.l1.latency = 1
+            mem.l2.size_kb = 0        # no private L2
+            mem.llc.size_kb = 2048
+            mem.llc.ways = 8
+            mem.llc.latency = 6
+            mem.mshr_entries = 16
+            mem.prefetch = on
+            mem.atomic_penalty = 20
+            mem.dram = simple
+            mem.dram.latency = 200
+            mem.dram.bandwidth_bytes_per_cycle = 12
+        ";
+        let (core, mem) = parse_system_config(text).unwrap();
+        assert_eq!(core.name, "access");
+        assert_eq!(core.issue_width, 1);
+        assert_eq!(core.window_size, 1);
+        assert_eq!(core.branch, BranchMode::Static);
+        assert!(core.desc_extensions);
+        assert_eq!(core.desc_buffer, 4);
+        assert!(!core.alias_speculation);
+        assert_eq!(mem.l1.size_bytes(), 32 * 1024);
+        assert!(mem.l2.is_none());
+        assert_eq!(mem.llc.size_bytes(), 2 * 1024 * 1024);
+        assert_eq!(mem.llc.latency(), 6);
+        // Matches dae_memory() on the load-bearing parameters (the
+        // display name differs: config files call the shared level LLC).
+        let reference = crate::dae_memory();
+        assert_eq!(mem.llc.size_bytes(), reference.llc.size_bytes());
+        assert_eq!(mem.llc.ways(), reference.llc.ways());
+        assert_eq!(mem.llc.latency(), reference.llc.latency());
+        assert_eq!(mem.dram, reference.dram);
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = parse_system_config("core.isue_width = 4").unwrap_err();
+        assert!(matches!(err, ConfigError::UnknownKey { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_value_reports_line() {
+        let err = parse_system_config("\ncore.issue_width = wide").unwrap_err();
+        match err {
+            ConfigError::BadValue { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let err = parse_system_config("just some words").unwrap_err();
+        assert!(matches!(err, ConfigError::Malformed { .. }));
+    }
+
+    #[test]
+    fn noc_and_banked_dram_options() {
+        let (_, mem) = parse_system_config(
+            "mem.dram = banked\nmem.noc.mesh_width = 4\nmem.noc.hop_latency = 3",
+        )
+        .unwrap();
+        assert!(matches!(mem.dram, DramKind::Banked(_)));
+        let noc = mem.noc.expect("noc configured");
+        assert_eq!(noc.mesh_width, 4);
+        assert_eq!(noc.hop_latency, 3);
+    }
+
+    #[test]
+    fn shipped_config_files_parse() {
+        for name in ["ooo_xeon.cfg", "dae_access.cfg"] {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../configs/");
+            let (core, _mem) =
+                load_system_config(format!("{path}{name}")).unwrap_or_else(|e| {
+                    panic!("shipped config {name} failed to parse: {e}")
+                });
+            assert!(!core.name.is_empty());
+        }
+    }
+}

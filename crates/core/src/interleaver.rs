@@ -1,0 +1,170 @@
+//! The Interleaver (paper §II, Fig. 2).
+//!
+//! "Tiles operate alongside each other, each being called upon by the
+//! Interleaver to take a single-cycle step. ... Distinct tiles may use
+//! different notions of execution timing and are modeled to operate
+//! concurrently. The Interleaver queries tiles to advance them through the
+//! next time unit of execution. Tiles may run at different clock speeds,
+//! so the Interleaver queries and coordinates their events accordingly."
+//!
+//! Each global cycle the Interleaver: steps the memory hierarchy, routes
+//! memory completions back to the issuing tiles, and steps every tile
+//! whose clock divides the current cycle. Inter-tile messages flow through
+//! the [`ChannelSet`]; accelerator invocations dispatch to the configured
+//! [`AccelSim`] (paper §IV-A).
+
+use mosaic_mem::MemoryHierarchy;
+use mosaic_tile::{AccelSim, ChannelSet, Tile, TileCtx};
+
+/// Errors produced by a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle cap was reached before every tile drained — almost always
+    /// a deadlocked channel pair or a trace/kernel mismatch.
+    CycleLimit {
+        /// The cap that was hit.
+        limit: u64,
+        /// Names of the tiles that had not finished.
+        unfinished: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CycleLimit { limit, unfinished } => write!(
+                f,
+                "simulation exceeded {limit} cycles with unfinished tiles {unfinished:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The cycle-driven scheduler composing tiles, memory, channels, and
+/// accelerators into whole-system estimates.
+pub struct Interleaver {
+    tiles: Vec<Box<dyn Tile>>,
+    mem: MemoryHierarchy,
+    channels: ChannelSet,
+    accel: Box<dyn AccelSim>,
+    cycle_limit: u64,
+    now: u64,
+}
+
+impl std::fmt::Debug for Interleaver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interleaver")
+            .field("tiles", &self.tiles.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl Interleaver {
+    /// Assembles an interleaver. Tile order must match the memory
+    /// hierarchy's private-cache slots (tile `i` uses slot `i`).
+    pub fn new(
+        tiles: Vec<Box<dyn Tile>>,
+        mem: MemoryHierarchy,
+        channels: ChannelSet,
+        accel: Box<dyn AccelSim>,
+    ) -> Self {
+        Interleaver {
+            tiles,
+            mem,
+            channels,
+            accel,
+            cycle_limit: 2_000_000_000,
+            now: 0,
+        }
+    }
+
+    /// Sets the runaway-protection cycle cap.
+    pub fn set_cycle_limit(&mut self, limit: u64) {
+        self.cycle_limit = limit;
+    }
+
+    /// The current global cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The tiles (for stats inspection).
+    pub fn tiles(&self) -> &[Box<dyn Tile>] {
+        &self.tiles
+    }
+
+    /// The memory hierarchy (for stats inspection).
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// The channel set (for stats inspection).
+    pub fn channels(&self) -> &ChannelSet {
+        &self.channels
+    }
+
+    /// Advances one global cycle. Returns whether all tiles are done.
+    pub fn step(&mut self) -> bool {
+        let now = self.now;
+        self.mem.step(now);
+        for c in self.mem.drain_completions() {
+            if let Some(tile) = self.tiles.get_mut(c.tile) {
+                tile.on_mem_completion(c.id, now);
+            }
+        }
+        for tile in &mut self.tiles {
+            if tile.is_done() {
+                continue;
+            }
+            if !now.is_multiple_of(tile.clock_divisor()) {
+                continue;
+            }
+            let mut ctx = TileCtx {
+                now,
+                mem: &mut self.mem,
+                channels: &mut self.channels,
+                accel: self.accel.as_mut(),
+            };
+            tile.step(&mut ctx);
+        }
+        self.now += 1;
+        self.tiles.iter().all(|t| t.is_done())
+    }
+
+    /// Runs until every tile drains, returning the completion cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if the cap is hit first.
+    pub fn run(&mut self) -> Result<u64, SimError> {
+        while !self.step() {
+            if self.now >= self.cycle_limit {
+                return Err(SimError::CycleLimit {
+                    limit: self.cycle_limit,
+                    unfinished: self
+                        .tiles
+                        .iter()
+                        .filter(|t| !t.is_done())
+                        .map(|t| t.name().to_string())
+                        .collect(),
+                });
+            }
+        }
+        // The completion cycle is the latest tile finish time.
+        Ok(self
+            .tiles
+            .iter()
+            .filter_map(|t| t.stats().done_at)
+            .max()
+            .unwrap_or(self.now))
+    }
+
+    /// Consumes the interleaver, returning its parts for post-run
+    /// inspection.
+    pub fn into_parts(self) -> (Vec<Box<dyn Tile>>, MemoryHierarchy, ChannelSet) {
+        (self.tiles, self.mem, self.channels)
+    }
+}

@@ -1,0 +1,258 @@
+//! System composition and whole-run reports.
+//!
+//! [`SystemBuilder`] assembles an SoC exactly as paper Fig. 2 depicts it:
+//! a set of heterogeneous tiles (each bound to a kernel function and a
+//! recorded trace), a shared memory hierarchy, inter-tile channels, and an
+//! accelerator bank — then runs the Interleaver to completion and returns
+//! a [`SimReport`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use mosaic_ir::{FuncId, Module};
+use mosaic_mem::{HierarchyConfig, MemStats, MemoryHierarchy};
+use mosaic_tile::{
+    AccelSim, ChannelConfig, ChannelSet, CoreConfig, CoreTile, NoAccel, Tile, TileStats,
+};
+use mosaic_trace::KernelTrace;
+
+use crate::energy::EnergyModel;
+use crate::interleaver::{Interleaver, SimError};
+
+/// Final report of one system simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Cycle at which the last tile finished.
+    pub cycles: u64,
+    /// Per-tile statistics.
+    pub tiles: Vec<TileStats>,
+    /// Memory hierarchy statistics.
+    pub mem: MemStats,
+    /// Cycles the DRAM bandwidth cap throttled ready requests.
+    pub dram_throttled: u64,
+    /// Total retired instructions.
+    pub total_retired: u64,
+    /// Core-side dynamic energy (instructions + accelerators), pJ.
+    pub core_energy_pj: f64,
+    /// Memory-hierarchy dynamic energy, pJ.
+    pub mem_energy_pj: f64,
+    /// Static energy over the run, pJ.
+    pub static_energy_pj: f64,
+}
+
+impl SimReport {
+    /// Aggregate instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total energy, pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.core_energy_pj + self.mem_energy_pj + self.static_energy_pj
+    }
+
+    /// Energy-delay product in J·s under `model`.
+    pub fn edp_js(&self, model: &EnergyModel) -> f64 {
+        model.edp(self.total_energy_pj(), self.cycles)
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles: {}", self.cycles)?;
+        writeln!(
+            f,
+            "retired: {}  (IPC {:.3})",
+            self.total_retired,
+            self.ipc()
+        )?;
+        for t in &self.tiles {
+            writeln!(
+                f,
+                "  tile {:<16} retired {:>10}  done@{:>10}  ipc {:.3}",
+                t.name,
+                t.retired,
+                t.done_at.map(|c| c.to_string()).unwrap_or_default(),
+                t.ipc()
+            )?;
+        }
+        writeln!(
+            f,
+            "mem: L1 {}/{} (h/m)  LLC {}/{}  DRAM rd {} wb {}",
+            self.mem.l1_hits,
+            self.mem.l1_misses,
+            self.mem.llc_hits,
+            self.mem.llc_misses,
+            self.mem.dram_reads,
+            self.mem.dram_writebacks
+        )?;
+        writeln!(
+            f,
+            "energy: core {:.1} nJ, mem {:.1} nJ, static {:.1} nJ",
+            self.core_energy_pj / 1e3,
+            self.mem_energy_pj / 1e3,
+            self.static_energy_pj / 1e3
+        )
+    }
+}
+
+struct TileSpec {
+    config: CoreConfig,
+    func: FuncId,
+    trace_tile: usize,
+}
+
+/// Builder for a tiled system (paper Fig. 2's tile map).
+///
+/// # Examples
+///
+/// See [`crate::runner::simulate_spmd`] for the common end-to-end path;
+/// the builder itself is used for heterogeneous compositions:
+///
+/// ```no_run
+/// # use mosaic_core::{SystemBuilder, xeon_memory};
+/// # use mosaic_tile::CoreConfig;
+/// # fn demo(module: std::sync::Arc<mosaic_ir::Module>,
+/// #         trace: std::sync::Arc<mosaic_trace::KernelTrace>,
+/// #         access: mosaic_ir::FuncId, execute: mosaic_ir::FuncId) {
+/// let report = SystemBuilder::new(module, trace)
+///     .memory(xeon_memory())
+///     .core(CoreConfig::in_order().with_name("access"), access, 0)
+///     .core(CoreConfig::in_order().with_name("execute"), execute, 1)
+///     .run()
+///     .unwrap();
+/// println!("{report}");
+/// # }
+/// ```
+pub struct SystemBuilder {
+    module: Arc<Module>,
+    trace: Arc<KernelTrace>,
+    tiles: Vec<TileSpec>,
+    memory: HierarchyConfig,
+    channel: ChannelConfig,
+    accel: Option<Box<dyn AccelSim>>,
+    energy: EnergyModel,
+    cycle_limit: u64,
+}
+
+impl fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("tiles", &self.tiles.len())
+            .finish()
+    }
+}
+
+impl SystemBuilder {
+    /// Starts a system over a module and its recorded kernel trace.
+    pub fn new(module: Arc<Module>, trace: Arc<KernelTrace>) -> Self {
+        SystemBuilder {
+            module,
+            trace,
+            tiles: Vec::new(),
+            memory: HierarchyConfig::default(),
+            channel: ChannelConfig::default(),
+            accel: None,
+            energy: EnergyModel::default(),
+            cycle_limit: 2_000_000_000,
+        }
+    }
+
+    /// Sets the memory hierarchy configuration.
+    pub fn memory(mut self, config: HierarchyConfig) -> Self {
+        self.memory = config;
+        self
+    }
+
+    /// Sets the default inter-tile channel configuration.
+    pub fn channels(mut self, config: ChannelConfig) -> Self {
+        self.channel = config;
+        self
+    }
+
+    /// Installs the accelerator models (paper §IV-A).
+    pub fn accelerators(mut self, accel: Box<dyn AccelSim>) -> Self {
+        self.accel = Some(accel);
+        self
+    }
+
+    /// Overrides the energy model.
+    pub fn energy(mut self, model: EnergyModel) -> Self {
+        self.energy = model;
+        self
+    }
+
+    /// Overrides the cycle cap.
+    pub fn cycle_limit(mut self, limit: u64) -> Self {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// Adds a core tile running `func` and replaying trace tile
+    /// `trace_tile`.
+    pub fn core(mut self, config: CoreConfig, func: FuncId, trace_tile: usize) -> Self {
+        self.tiles.push(TileSpec {
+            config,
+            func,
+            trace_tile,
+        });
+        self
+    }
+
+    /// Builds the interleaver without running it (stepwise use).
+    pub fn build(self) -> Interleaver {
+        let ntiles = self.tiles.len();
+        let mem = MemoryHierarchy::new(self.memory, ntiles.max(1));
+        let channels = ChannelSet::new(self.channel);
+        let accel: Box<dyn AccelSim> = self.accel.unwrap_or_else(|| Box::new(NoAccel));
+        let tiles: Vec<Box<dyn Tile>> = self
+            .tiles
+            .into_iter()
+            .enumerate()
+            .map(|(slot, spec)| {
+                let trace = Arc::new(self.trace.tile(spec.trace_tile).clone());
+                Box::new(CoreTile::new(
+                    spec.config,
+                    self.module.clone(),
+                    spec.func,
+                    trace,
+                    slot,
+                )) as Box<dyn Tile>
+            })
+            .collect();
+        let mut il = Interleaver::new(tiles, mem, channels, accel);
+        il.set_cycle_limit(self.cycle_limit);
+        il
+    }
+
+    /// Builds and runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the cycle cap is exceeded.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        let energy = self.energy;
+        let areas: Vec<f64> = self.tiles.iter().map(|t| t.config.area_mm2).collect();
+        let mut il = self.build();
+        let cycles = il.run()?;
+        let (tiles, mem, _channels) = il.into_parts();
+        let tile_stats: Vec<TileStats> = tiles.iter().map(|t| t.stats().clone()).collect();
+        let mem_stats = mem.stats();
+        let core_energy: f64 = tile_stats.iter().map(|t| t.energy_pj).sum();
+        let total_area: f64 = areas.iter().sum();
+        Ok(SimReport {
+            cycles,
+            total_retired: tile_stats.iter().map(|t| t.retired).sum(),
+            tiles: tile_stats,
+            mem: mem_stats,
+            dram_throttled: mem.dram_throttled_cycles(),
+            core_energy_pj: core_energy,
+            mem_energy_pj: energy.memory_energy_pj(&mem_stats),
+            static_energy_pj: energy.static_energy_pj(total_area, cycles),
+        })
+    }
+}

@@ -1,0 +1,81 @@
+//! Newtype indices used throughout the IR.
+//!
+//! All IR entities live in flat arenas inside [`crate::Function`] /
+//! [`crate::Module`] and are referred to by these copyable ids. Using
+//! newtypes (rather than bare `u32`s) makes it impossible to index a block
+//! arena with an instruction id and vice versa.
+
+use std::fmt;
+
+/// Identifies a function within a [`crate::Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Identifies a basic block within a [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// Identifies an instruction within a [`crate::Function`].
+///
+/// Instruction ids are dense indices into the function's instruction arena.
+/// An instruction that produces a value *is* that value: operands refer to
+/// producing instructions by `InstId` (SSA form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId(pub u32);
+
+impl FuncId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl InstId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FuncId(3).to_string(), "@3");
+        assert_eq!(BlockId(0).to_string(), "bb0");
+        assert_eq!(InstId(17).to_string(), "%17");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(InstId(1) < InstId(2));
+        assert_eq!(BlockId(4).index(), 4);
+    }
+}

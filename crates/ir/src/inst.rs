@@ -1,0 +1,932 @@
+//! Instructions, operands, opcodes, and intrinsics.
+//!
+//! The instruction set mirrors the LLVM IR subset that MosaicSim's kernels
+//! use: integer/float arithmetic, comparisons, `select`, casts, address
+//! arithmetic (`gep`), memory operations (plus atomic read-modify-write),
+//! `phi`, intrinsic calls, the inter-tile message-passing primitives
+//! `send`/`recv` (paper §II-C), accelerator invocations (paper §IV-A), and
+//! the control-flow terminators `br`/`condbr`/`ret`.
+
+use crate::ids::{BlockId, InstId};
+use crate::types::{Constant, Type};
+
+/// An SSA operand: either the result of an instruction, a compile-time
+/// constant, or a function parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Result of the instruction with the given id.
+    Inst(InstId),
+    /// Compile-time constant.
+    Const(Constant),
+    /// The `n`-th parameter of the enclosing function.
+    Param(u32),
+}
+
+impl Operand {
+    /// The defining instruction, if this operand is an instruction result.
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Operand::Inst(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The constant value, if this operand is a constant.
+    pub fn as_const(self) -> Option<Constant> {
+        match self {
+            Operand::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl From<InstId> for Operand {
+    fn from(id: InstId) -> Self {
+        Operand::Inst(id)
+    }
+}
+
+impl From<Constant> for Operand {
+    fn from(c: Constant) -> Self {
+        Operand::Const(c)
+    }
+}
+
+/// Two-operand arithmetic and bitwise operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Signed integer division.
+    SDiv,
+    /// Signed integer remainder.
+    SRem,
+    /// Unsigned integer division.
+    UDiv,
+    /// Unsigned integer remainder.
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Arithmetic (sign-preserving) shift right.
+    AShr,
+    /// Logical shift right.
+    LShr,
+    /// Floating-point addition.
+    FAdd,
+    /// Floating-point subtraction.
+    FSub,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division.
+    FDiv,
+}
+
+impl BinOp {
+    /// Whether this is one of the floating-point operations.
+    pub fn is_float(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+
+    /// Whether this is an integer or floating point division/remainder
+    /// (which typically occupies a long-latency functional unit).
+    pub fn is_division(self) -> bool {
+        matches!(
+            self,
+            BinOp::SDiv | BinOp::SRem | BinOp::UDiv | BinOp::URem | BinOp::FDiv
+        )
+    }
+
+    /// Textual mnemonic used by the printer/parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::SRem => "srem",
+            BinOp::UDiv => "udiv",
+            BinOp::URem => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::AShr => "ashr",
+            BinOp::LShr => "lshr",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`BinOp::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<BinOp> {
+        Some(match s {
+            "add" => BinOp::Add,
+            "sub" => BinOp::Sub,
+            "mul" => BinOp::Mul,
+            "sdiv" => BinOp::SDiv,
+            "srem" => BinOp::SRem,
+            "udiv" => BinOp::UDiv,
+            "urem" => BinOp::URem,
+            "and" => BinOp::And,
+            "or" => BinOp::Or,
+            "xor" => BinOp::Xor,
+            "shl" => BinOp::Shl,
+            "ashr" => BinOp::AShr,
+            "lshr" => BinOp::LShr,
+            "fadd" => BinOp::FAdd,
+            "fsub" => BinOp::FSub,
+            "fmul" => BinOp::FMul,
+            "fdiv" => BinOp::FDiv,
+            _ => return None,
+        })
+    }
+}
+
+/// Integer comparison predicates (signed unless noted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntPredicate {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Slt,
+    /// Signed less than or equal.
+    Sle,
+    /// Signed greater than.
+    Sgt,
+    /// Signed greater than or equal.
+    Sge,
+    /// Unsigned less than.
+    Ult,
+    /// Unsigned greater than or equal.
+    Uge,
+}
+
+impl IntPredicate {
+    /// Textual mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntPredicate::Eq => "eq",
+            IntPredicate::Ne => "ne",
+            IntPredicate::Slt => "slt",
+            IntPredicate::Sle => "sle",
+            IntPredicate::Sgt => "sgt",
+            IntPredicate::Sge => "sge",
+            IntPredicate::Ult => "ult",
+            IntPredicate::Uge => "uge",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`IntPredicate::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<IntPredicate> {
+        Some(match s {
+            "eq" => IntPredicate::Eq,
+            "ne" => IntPredicate::Ne,
+            "slt" => IntPredicate::Slt,
+            "sle" => IntPredicate::Sle,
+            "sgt" => IntPredicate::Sgt,
+            "sge" => IntPredicate::Sge,
+            "ult" => IntPredicate::Ult,
+            "uge" => IntPredicate::Uge,
+            _ => return None,
+        })
+    }
+}
+
+/// Floating-point comparison predicates (ordered semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatPredicate {
+    /// Equal.
+    Oeq,
+    /// Not equal.
+    One,
+    /// Less than.
+    Olt,
+    /// Less than or equal.
+    Ole,
+    /// Greater than.
+    Ogt,
+    /// Greater than or equal.
+    Oge,
+}
+
+impl FloatPredicate {
+    /// Textual mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FloatPredicate::Oeq => "oeq",
+            FloatPredicate::One => "one",
+            FloatPredicate::Olt => "olt",
+            FloatPredicate::Ole => "ole",
+            FloatPredicate::Ogt => "ogt",
+            FloatPredicate::Oge => "oge",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`FloatPredicate::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<FloatPredicate> {
+        Some(match s {
+            "oeq" => FloatPredicate::Oeq,
+            "one" => FloatPredicate::One,
+            "olt" => FloatPredicate::Olt,
+            "ole" => FloatPredicate::Ole,
+            "ogt" => FloatPredicate::Ogt,
+            "oge" => FloatPredicate::Oge,
+            _ => return None,
+        })
+    }
+}
+
+/// Value cast kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Integer truncation or extension (sign-extending) to the result type.
+    IntResize,
+    /// Integer to floating point.
+    IntToFloat,
+    /// Floating point to integer (truncating toward zero).
+    FloatToInt,
+    /// Float precision change (f32 <-> f64).
+    FloatResize,
+    /// Integer to pointer (bit pattern preserved).
+    IntToPtr,
+    /// Pointer to integer (bit pattern preserved).
+    PtrToInt,
+}
+
+impl CastKind {
+    /// Textual mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CastKind::IntResize => "iresize",
+            CastKind::IntToFloat => "sitofp",
+            CastKind::FloatToInt => "fptosi",
+            CastKind::FloatResize => "fresize",
+            CastKind::IntToPtr => "inttoptr",
+            CastKind::PtrToInt => "ptrtoint",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`CastKind::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<CastKind> {
+        Some(match s {
+            "iresize" => CastKind::IntResize,
+            "sitofp" => CastKind::IntToFloat,
+            "fptosi" => CastKind::FloatToInt,
+            "fresize" => CastKind::FloatResize,
+            "inttoptr" => CastKind::IntToPtr,
+            "ptrtoint" => CastKind::PtrToInt,
+            _ => return None,
+        })
+    }
+}
+
+/// Atomic read-modify-write operations (used e.g. by the BFS kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    /// Atomic add; returns the old value.
+    Add,
+    /// Atomic minimum (signed); returns the old value.
+    Min,
+    /// Atomic maximum (signed); returns the old value.
+    Max,
+    /// Atomic exchange; returns the old value.
+    Xchg,
+    /// Compare-and-swap: the second value operand is the expected value;
+    /// returns the old value.
+    Cas,
+}
+
+impl AtomicOp {
+    /// Textual mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AtomicOp::Add => "atomic_add",
+            AtomicOp::Min => "atomic_min",
+            AtomicOp::Max => "atomic_max",
+            AtomicOp::Xchg => "atomic_xchg",
+            AtomicOp::Cas => "atomic_cas",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`AtomicOp::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<AtomicOp> {
+        Some(match s {
+            "atomic_add" => AtomicOp::Add,
+            "atomic_min" => AtomicOp::Min,
+            "atomic_max" => AtomicOp::Max,
+            "atomic_xchg" => AtomicOp::Xchg,
+            "atomic_cas" => AtomicOp::Cas,
+            _ => return None,
+        })
+    }
+}
+
+/// Built-in functions callable from kernels.
+///
+/// These correspond to the intrinsic calls MosaicSim recognizes through its
+/// LLVM passes: SPMD environment queries (`tile_id`, `num_tiles`, paper
+/// §II-B) and the math routines the Parboil kernels need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// The executing tile's id (SPMD model, paper §II-B).
+    TileId,
+    /// Total number of tiles running the kernel.
+    NumTiles,
+    /// Square root.
+    Sqrt,
+    /// Reciprocal square root.
+    Rsqrt,
+    /// e^x.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Floating absolute value.
+    FAbs,
+    /// Floating minimum of two values.
+    FMin,
+    /// Floating maximum of two values.
+    FMax,
+    /// Signed integer minimum of two values.
+    SMin,
+    /// Signed integer maximum of two values.
+    SMax,
+    /// Largest integer value not greater than the argument.
+    Floor,
+}
+
+impl Intrinsic {
+    /// Number of arguments the intrinsic takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::TileId | Intrinsic::NumTiles => 0,
+            Intrinsic::Sqrt
+            | Intrinsic::Rsqrt
+            | Intrinsic::Exp
+            | Intrinsic::Log
+            | Intrinsic::Sin
+            | Intrinsic::Cos
+            | Intrinsic::FAbs
+            | Intrinsic::Floor => 1,
+            Intrinsic::FMin | Intrinsic::FMax | Intrinsic::SMin | Intrinsic::SMax => 2,
+        }
+    }
+
+    /// Textual name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::TileId => "tile_id",
+            Intrinsic::NumTiles => "num_tiles",
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Rsqrt => "rsqrt",
+            Intrinsic::Exp => "exp",
+            Intrinsic::Log => "log",
+            Intrinsic::Sin => "sin",
+            Intrinsic::Cos => "cos",
+            Intrinsic::FAbs => "fabs",
+            Intrinsic::FMin => "fmin",
+            Intrinsic::FMax => "fmax",
+            Intrinsic::SMin => "smin",
+            Intrinsic::SMax => "smax",
+            Intrinsic::Floor => "floor",
+        }
+    }
+
+    /// Parses a name produced by [`Intrinsic::name`].
+    pub fn from_name(s: &str) -> Option<Intrinsic> {
+        Some(match s {
+            "tile_id" => Intrinsic::TileId,
+            "num_tiles" => Intrinsic::NumTiles,
+            "sqrt" => Intrinsic::Sqrt,
+            "rsqrt" => Intrinsic::Rsqrt,
+            "exp" => Intrinsic::Exp,
+            "log" => Intrinsic::Log,
+            "sin" => Intrinsic::Sin,
+            "cos" => Intrinsic::Cos,
+            "fabs" => Intrinsic::FAbs,
+            "fmin" => Intrinsic::FMin,
+            "fmax" => Intrinsic::FMax,
+            "smin" => Intrinsic::SMin,
+            "smax" => Intrinsic::SMax,
+            "floor" => Intrinsic::Floor,
+            _ => return None,
+        })
+    }
+}
+
+/// The accelerator API of common accelerated functions (paper §II-B, §IV-A).
+///
+/// Kernels invoke accelerators through these calls; the compiler preserves
+/// them as special instructions, the dynamic trace records the evaluated
+/// parameters, and the simulator dispatches to an accelerator tile model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccelOp {
+    /// Dense matrix multiply `C[m×n] = A[m×k] × B[k×n]`:
+    /// args `(a_ptr, b_ptr, c_ptr, m, n, k)`.
+    Sgemm,
+    /// Saturating histogram: args `(in_ptr, out_ptr, n, bins)`.
+    Histogram,
+    /// Element-wise arithmetic over two arrays: args `(a_ptr, b_ptr, c_ptr, n)`.
+    ElementWise,
+    /// 2-D convolution forward pass: args `(in_c, out_c, h, w, k)`.
+    Conv2d,
+    /// Fully connected (dense) layer: args `(batch, in_dim, out_dim)`.
+    Dense,
+    /// ReLU activation: args `(n)`.
+    Relu,
+    /// 2-D max pooling: args `(c, h, w, k)`.
+    Pool2d,
+    /// Batch normalization: args `(n)`.
+    BatchNorm,
+    /// Embedding lookup/update: args `(rows, dim)`.
+    Embedding,
+}
+
+impl AccelOp {
+    /// Number of `i64` parameters the invocation carries.
+    pub fn arity(self) -> usize {
+        match self {
+            AccelOp::Sgemm => 6,
+            AccelOp::Histogram => 4,
+            AccelOp::ElementWise => 4,
+            AccelOp::Conv2d => 5,
+            AccelOp::Dense => 3,
+            AccelOp::Relu => 1,
+            AccelOp::Pool2d => 4,
+            AccelOp::BatchNorm => 1,
+            AccelOp::Embedding => 2,
+        }
+    }
+
+    /// Textual name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccelOp::Sgemm => "accel.sgemm",
+            AccelOp::Histogram => "accel.histogram",
+            AccelOp::ElementWise => "accel.elementwise",
+            AccelOp::Conv2d => "accel.conv2d",
+            AccelOp::Dense => "accel.dense",
+            AccelOp::Relu => "accel.relu",
+            AccelOp::Pool2d => "accel.pool2d",
+            AccelOp::BatchNorm => "accel.batchnorm",
+            AccelOp::Embedding => "accel.embedding",
+        }
+    }
+
+    /// Parses a name produced by [`AccelOp::name`].
+    pub fn from_name(s: &str) -> Option<AccelOp> {
+        Some(match s {
+            "accel.sgemm" => AccelOp::Sgemm,
+            "accel.histogram" => AccelOp::Histogram,
+            "accel.elementwise" => AccelOp::ElementWise,
+            "accel.conv2d" => AccelOp::Conv2d,
+            "accel.dense" => AccelOp::Dense,
+            "accel.relu" => AccelOp::Relu,
+            "accel.pool2d" => AccelOp::Pool2d,
+            "accel.batchnorm" => AccelOp::BatchNorm,
+            "accel.embedding" => AccelOp::Embedding,
+            _ => return None,
+        })
+    }
+}
+
+/// The operation an instruction performs, with its operands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Opcode {
+    /// Two-operand arithmetic/bitwise operation.
+    Bin {
+        /// The operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Integer comparison producing `i1`.
+    ICmp {
+        /// Predicate.
+        pred: IntPredicate,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Floating comparison producing `i1`.
+    FCmp {
+        /// Predicate.
+        pred: FloatPredicate,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Conditional value select.
+    Select {
+        /// `i1` condition.
+        cond: Operand,
+        /// Value when true.
+        on_true: Operand,
+        /// Value when false.
+        on_false: Operand,
+    },
+    /// Value cast.
+    Cast {
+        /// Cast kind.
+        kind: CastKind,
+        /// Source value.
+        value: Operand,
+    },
+    /// Address computation: `base + index * elem_size` (a simplified
+    /// `getelementptr`, paper Fig. 3).
+    Gep {
+        /// Base pointer.
+        base: Operand,
+        /// Element index.
+        index: Operand,
+        /// Element size in bytes.
+        elem_size: u32,
+    },
+    /// Memory load; the instruction's type is the loaded type.
+    Load {
+        /// Address operand (must be `ptr`).
+        addr: Operand,
+    },
+    /// Memory store.
+    Store {
+        /// Address operand (must be `ptr`).
+        addr: Operand,
+        /// Stored value.
+        value: Operand,
+    },
+    /// Atomic read-modify-write; returns the old value.
+    AtomicRmw {
+        /// The atomic operation.
+        op: AtomicOp,
+        /// Address operand.
+        addr: Operand,
+        /// Operand value (for CAS, the *new* value).
+        value: Operand,
+        /// Expected value (CAS only).
+        expected: Option<Operand>,
+    },
+    /// SSA phi node.
+    Phi {
+        /// `(predecessor block, value)` pairs.
+        incoming: Vec<(BlockId, Operand)>,
+    },
+    /// Intrinsic call.
+    Call {
+        /// The intrinsic.
+        intr: Intrinsic,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Enqueue a value on an inter-tile queue (paper §II-C).
+    Send {
+        /// Queue id (system-level config maps this to endpoints).
+        queue: u32,
+        /// Value to send.
+        value: Operand,
+    },
+    /// Dequeue a value from an inter-tile queue; blocks while empty.
+    Recv {
+        /// Queue id.
+        queue: u32,
+    },
+    /// Accelerator invocation (paper §IV-A). All arguments are evaluated
+    /// and recorded in the dynamic trace.
+    AccelCall {
+        /// Which accelerated function.
+        accel: AccelOp,
+        /// Arguments (pointers and sizes as `i64`).
+        args: Vec<Operand>,
+    },
+    /// Unconditional branch (terminator).
+    Br {
+        /// Destination block.
+        target: BlockId,
+    },
+    /// Conditional branch (terminator).
+    CondBr {
+        /// `i1` condition.
+        cond: Operand,
+        /// Destination when true.
+        on_true: BlockId,
+        /// Destination when false.
+        on_false: BlockId,
+    },
+    /// Function return (terminator).
+    Ret {
+        /// Optional return value.
+        value: Option<Operand>,
+    },
+}
+
+impl Opcode {
+    /// Whether this opcode ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Opcode::Br { .. } | Opcode::CondBr { .. } | Opcode::Ret { .. })
+    }
+
+    /// Whether this opcode accesses memory (load/store/atomic).
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Opcode::Load { .. } | Opcode::Store { .. } | Opcode::AtomicRmw { .. }
+        )
+    }
+
+    /// Whether this opcode writes memory.
+    pub fn writes_mem(&self) -> bool {
+        matches!(self, Opcode::Store { .. } | Opcode::AtomicRmw { .. })
+    }
+
+    /// Whether this opcode has a side effect beyond producing a value
+    /// (used by dead-code elimination).
+    pub fn has_side_effect(&self) -> bool {
+        matches!(
+            self,
+            Opcode::Store { .. }
+                | Opcode::AtomicRmw { .. }
+                | Opcode::Send { .. }
+                | Opcode::Recv { .. }
+                | Opcode::AccelCall { .. }
+                | Opcode::Br { .. }
+                | Opcode::CondBr { .. }
+                | Opcode::Ret { .. }
+        )
+    }
+
+    /// Visits every operand of this opcode.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Opcode::Bin { lhs, rhs, .. }
+            | Opcode::ICmp { lhs, rhs, .. }
+            | Opcode::FCmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Opcode::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                f(*cond);
+                f(*on_true);
+                f(*on_false);
+            }
+            Opcode::Cast { value, .. } => f(*value),
+            Opcode::Gep { base, index, .. } => {
+                f(*base);
+                f(*index);
+            }
+            Opcode::Load { addr } => f(*addr),
+            Opcode::Store { addr, value } => {
+                f(*addr);
+                f(*value);
+            }
+            Opcode::AtomicRmw {
+                addr,
+                value,
+                expected,
+                ..
+            } => {
+                f(*addr);
+                f(*value);
+                if let Some(e) = expected {
+                    f(*e);
+                }
+            }
+            Opcode::Phi { incoming } => {
+                for (_, v) in incoming {
+                    f(*v);
+                }
+            }
+            Opcode::Call { args, .. } | Opcode::AccelCall { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            Opcode::Send { value, .. } => f(*value),
+            Opcode::Recv { .. } => {}
+            Opcode::Br { .. } => {}
+            Opcode::CondBr { cond, .. } => f(*cond),
+            Opcode::Ret { value } => {
+                if let Some(v) = value {
+                    f(*v);
+                }
+            }
+        }
+    }
+
+    /// Visits every operand mutably (used by pass rewriting).
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            Opcode::Bin { lhs, rhs, .. }
+            | Opcode::ICmp { lhs, rhs, .. }
+            | Opcode::FCmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Opcode::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                f(cond);
+                f(on_true);
+                f(on_false);
+            }
+            Opcode::Cast { value, .. } => f(value),
+            Opcode::Gep { base, index, .. } => {
+                f(base);
+                f(index);
+            }
+            Opcode::Load { addr } => f(addr),
+            Opcode::Store { addr, value } => {
+                f(addr);
+                f(value);
+            }
+            Opcode::AtomicRmw {
+                addr,
+                value,
+                expected,
+                ..
+            } => {
+                f(addr);
+                f(value);
+                if let Some(e) = expected {
+                    f(e);
+                }
+            }
+            Opcode::Phi { incoming } => {
+                for (_, v) in incoming {
+                    f(v);
+                }
+            }
+            Opcode::Call { args, .. } | Opcode::AccelCall { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Opcode::Send { value, .. } => f(value),
+            Opcode::Recv { .. } => {}
+            Opcode::Br { .. } => {}
+            Opcode::CondBr { cond, .. } => f(cond),
+            Opcode::Ret { value } => {
+                if let Some(v) = value {
+                    f(v);
+                }
+            }
+        }
+    }
+
+    /// Successor blocks if this is a terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Opcode::Br { target } => vec![*target],
+            Opcode::CondBr {
+                on_true, on_false, ..
+            } => vec![*on_true, *on_false],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A single IR instruction: an opcode plus its SSA result type and the
+/// block it belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    pub(crate) id: InstId,
+    pub(crate) block: BlockId,
+    pub(crate) op: Opcode,
+    pub(crate) ty: Type,
+}
+
+impl Inst {
+    /// The instruction's id (and SSA value name).
+    pub fn id(&self) -> InstId {
+        self.id
+    }
+
+    /// The basic block this instruction belongs to.
+    pub fn block(&self) -> BlockId {
+        self.block
+    }
+
+    /// The opcode and operands.
+    pub fn op(&self) -> &Opcode {
+        &self.op
+    }
+
+    /// Mutable access to the opcode (used by passes).
+    pub fn op_mut(&mut self) -> &mut Opcode {
+        &mut self.op
+    }
+
+    /// The SSA result type (`Void` if none).
+    pub fn ty(&self) -> Type {
+        self.ty
+    }
+
+    /// Whether this instruction produces an SSA value.
+    pub fn produces_value(&self) -> bool {
+        self.ty.is_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_and_mem_classification() {
+        assert!(Opcode::Br { target: BlockId(0) }.is_terminator());
+        assert!(Opcode::Ret { value: None }.is_terminator());
+        let load = Opcode::Load {
+            addr: Operand::Param(0),
+        };
+        assert!(load.is_mem());
+        assert!(!load.writes_mem());
+        let store = Opcode::Store {
+            addr: Operand::Param(0),
+            value: Operand::Const(Constant::i32(1)),
+        };
+        assert!(store.writes_mem());
+        assert!(store.has_side_effect());
+        assert!(!load.has_side_effect());
+    }
+
+    #[test]
+    fn operand_visitation_covers_all() {
+        let op = Opcode::Select {
+            cond: Operand::Param(0),
+            on_true: Operand::Param(1),
+            on_false: Operand::Const(Constant::i32(0)),
+        };
+        let mut n = 0;
+        op.for_each_operand(|_| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn successors_of_terminators() {
+        let br = Opcode::Br { target: BlockId(3) };
+        assert_eq!(br.successors(), vec![BlockId(3)]);
+        let cbr = Opcode::CondBr {
+            cond: Operand::Param(0),
+            on_true: BlockId(1),
+            on_false: BlockId(2),
+        };
+        assert_eq!(cbr.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Opcode::Ret { value: None }.successors().is_empty());
+    }
+
+    #[test]
+    fn mnemonic_round_trips() {
+        for op in [
+            BinOp::Add,
+            BinOp::FMul,
+            BinOp::SDiv,
+            BinOp::Xor,
+            BinOp::AShr,
+        ] {
+            assert_eq!(BinOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        for p in [IntPredicate::Eq, IntPredicate::Slt, IntPredicate::Uge] {
+            assert_eq!(IntPredicate::from_mnemonic(p.mnemonic()), Some(p));
+        }
+        for a in [AccelOp::Sgemm, AccelOp::Conv2d, AccelOp::Embedding] {
+            assert_eq!(AccelOp::from_name(a.name()), Some(a));
+        }
+        for i in [Intrinsic::TileId, Intrinsic::Rsqrt, Intrinsic::SMax] {
+            assert_eq!(Intrinsic::from_name(i.name()), Some(i));
+        }
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = InstId(4).into();
+        assert_eq!(o.as_inst(), Some(InstId(4)));
+        let c: Operand = Constant::i64(9).into();
+        assert_eq!(c.as_const(), Some(Constant::i64(9)));
+        assert_eq!(c.as_inst(), None);
+    }
+}

@@ -1,0 +1,331 @@
+//! # mosaic-ir
+//!
+//! The compiler substrate of MosaicSim-RS: a compact SSA intermediate
+//! representation closely modeled on LLVM IR, plus the tooling MosaicSim's
+//! front end provides on top of LLVM (paper §II):
+//!
+//! * **IR + builder** — [`Module`], [`Function`], [`FunctionBuilder`]:
+//!   kernels are written against the builder exactly as the paper's kernels
+//!   are written in C and compiled by Clang.
+//! * **Verifier** — [`verify_module`] checks the structural invariants the
+//!   rest of the toolchain relies on.
+//! * **Printer / parser** — a stable, round-trippable textual format
+//!   ([`print_module`] / [`parse_module`]).
+//! * **Functional interpreter (DTG)** — [`interp`] executes kernels over a
+//!   byte-addressed [`MemImage`], with multi-tile SPMD and blocking
+//!   `send`/`recv` queues, emitting the dynamic control-flow and memory
+//!   traces that drive the timing simulator (paper §II-A).
+//!
+//! # Examples
+//!
+//! Build and run a vector-add kernel:
+//!
+//! ```
+//! use mosaic_ir::{Module, FunctionBuilder, Type, Constant, BinOp, MemImage, RtVal};
+//! use mosaic_ir::interp::{run_single, NullSink};
+//!
+//! let mut m = Module::new("demo");
+//! let f = m.add_function(
+//!     "vadd",
+//!     vec![("a".into(), Type::Ptr), ("b".into(), Type::Ptr), ("n".into(), Type::I64)],
+//!     Type::Void,
+//! );
+//! let mut b = FunctionBuilder::new(m.function_mut(f));
+//! let (pa, pb, n) = (b.param(0), b.param(1), b.param(2));
+//! let entry = b.create_block("entry");
+//! b.switch_to(entry);
+//! b.emit_counted_loop("i", Constant::i64(0).into(), n, |b, i| {
+//!     let aa = b.gep(pa, i, 4);
+//!     let av = b.load(Type::F32, aa);
+//!     let ba = b.gep(pb, i, 4);
+//!     let bv = b.load(Type::F32, ba);
+//!     let s = b.bin(BinOp::FAdd, av, bv);
+//!     b.store(aa, s);
+//! });
+//! b.ret(None);
+//! mosaic_ir::verify_module(&m)?;
+//!
+//! let mut mem = MemImage::new();
+//! let a = mem.alloc_f32(4);
+//! let bbuf = mem.alloc_f32(4);
+//! mem.fill_f32(a, &[1.0, 2.0, 3.0, 4.0]);
+//! mem.fill_f32(bbuf, &[10.0, 20.0, 30.0, 40.0]);
+//! let out = run_single(&m, mem, f, vec![RtVal::Int(a as i64), RtVal::Int(bbuf as i64), RtVal::Int(4)], &mut NullSink)?;
+//! assert_eq!(out.mem.read_f32_slice(a, 4), vec![11.0, 22.0, 33.0, 44.0]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod function;
+mod ids;
+mod inst;
+mod mem_image;
+mod types;
+
+pub mod interp;
+pub mod parser;
+pub mod printer;
+pub mod verify;
+
+pub use builder::FunctionBuilder;
+pub use function::{Block, Function, IrError, Module};
+pub use ids::{BlockId, FuncId, InstId};
+pub use inst::{
+    AccelOp, AtomicOp, BinOp, CastKind, FloatPredicate, Inst, IntPredicate, Intrinsic, Opcode,
+    Operand,
+};
+pub use interp::{run_single, run_tiles, ExecError, ExecOutcome, TileProgram, TraceSink};
+pub use mem_image::{MemImage, RtVal};
+pub use parser::parse_module;
+pub use printer::{print_function, print_module};
+pub use types::{Constant, Type};
+pub use verify::{verify_function, verify_module};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::NullSink;
+
+    fn sum_kernel() -> (Module, FuncId) {
+        let mut m = Module::new("t");
+        let f = m.add_function(
+            "sum",
+            vec![("p".into(), Type::Ptr), ("n".into(), Type::I64)],
+            Type::I64,
+        );
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (p, n) = (b.param(0), b.param(1));
+        let entry = b.create_block("entry");
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi_incomplete(Type::I64);
+        let (acc, acc_phi) = b.phi_incomplete(Type::I64);
+        let c = b.icmp(IntPredicate::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let addr = b.gep(p, i, 8);
+        let v = b.load(Type::I64, addr);
+        let acc2 = b.bin(BinOp::Add, acc, v);
+        let i2 = b.bin(BinOp::Add, i, Constant::i64(1).into());
+        b.br(header);
+        b.phi_add_incoming(i_phi, entry, Constant::i64(0).into());
+        b.phi_add_incoming(i_phi, body, i2);
+        b.phi_add_incoming(acc_phi, entry, Constant::i64(0).into());
+        b.phi_add_incoming(acc_phi, body, acc2);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        verify_module(&m).unwrap();
+        (m, f)
+    }
+
+    #[test]
+    fn loop_with_two_phis_sums_correctly() {
+        let (m, f) = sum_kernel();
+        let mut mem = MemImage::new();
+        let p = mem.alloc_i64(5);
+        mem.fill_i64(p, &[1, 2, 3, 4, 5]);
+        let out = run_single(
+            &m,
+            mem,
+            f,
+            vec![RtVal::Int(p as i64), RtVal::Int(5)],
+            &mut NullSink,
+        )
+        .unwrap();
+        assert_eq!(out.returns[0], Some(RtVal::Int(15)));
+        assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn spmd_tiles_observe_distinct_ids() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("out".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let out = b.param(0);
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let tid = b.tile_id();
+        let a = b.gep(out, tid, 8);
+        b.store(a, tid);
+        b.ret(None);
+        verify_module(&m).unwrap();
+
+        let mut mem = MemImage::new();
+        let p = mem.alloc_i64(4);
+        let progs = TileProgram::spmd(f, vec![RtVal::Int(p as i64)], 4);
+        let outcome = run_tiles(&m, mem, &progs, &mut NullSink).unwrap();
+        assert_eq!(outcome.mem.read_i64_slice(p, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn send_recv_pipeline_between_tiles() {
+        let mut m = Module::new("t");
+        // Producer: sends 0..n on queue 0.
+        let prod = m.add_function("prod", vec![("n".into(), Type::I64)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(prod));
+        let n = b.param(0);
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("l", Constant::i64(0).into(), n, |b, i| {
+            b.send(0, i);
+        });
+        b.ret(None);
+        // Consumer: receives n values, returns their sum.
+        let cons = m.add_function("cons", vec![("n".into(), Type::I64)], Type::I64);
+        let mut b = FunctionBuilder::new(m.function_mut(cons));
+        let n = b.param(0);
+        let entry = b.create_block("entry");
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi_incomplete(Type::I64);
+        let (acc, acc_phi) = b.phi_incomplete(Type::I64);
+        let c = b.icmp(IntPredicate::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let v = b.recv(0, Type::I64);
+        let acc2 = b.bin(BinOp::Add, acc, v);
+        let i2 = b.bin(BinOp::Add, i, Constant::i64(1).into());
+        b.br(header);
+        b.phi_add_incoming(i_phi, entry, Constant::i64(0).into());
+        b.phi_add_incoming(i_phi, body, i2);
+        b.phi_add_incoming(acc_phi, entry, Constant::i64(0).into());
+        b.phi_add_incoming(acc_phi, body, acc2);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        verify_module(&m).unwrap();
+
+        let progs = vec![
+            TileProgram::single(prod, vec![RtVal::Int(10)]),
+            TileProgram::single(cons, vec![RtVal::Int(10)]),
+        ];
+        let out = run_tiles(&m, MemImage::new(), &progs, &mut NullSink).unwrap();
+        assert_eq!(out.returns[1], Some(RtVal::Int(45)));
+    }
+
+    #[test]
+    fn recv_on_empty_queue_deadlocks() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![], Type::I64);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let v = b.recv(7, Type::I64);
+        b.ret(Some(v));
+        let err = run_single(&m, MemImage::new(), f, vec![], &mut NullSink).unwrap_err();
+        assert!(matches!(err, ExecError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("x".into(), Type::I64)], Type::I64);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let x = b.param(0);
+        let d = b.bin(BinOp::SDiv, x, Constant::i64(0).into());
+        b.ret(Some(d));
+        let err =
+            run_single(&m, MemImage::new(), f, vec![RtVal::Int(1)], &mut NullSink).unwrap_err();
+        assert!(matches!(err, ExecError::Trap(_)));
+    }
+
+    #[test]
+    fn atomic_rmw_returns_old_value() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("p".into(), Type::Ptr)], Type::I32);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let p = b.param(0);
+        let old = b.atomic_rmw(AtomicOp::Add, p, Constant::i32(5).into());
+        b.ret(Some(old));
+        let mut mem = MemImage::new();
+        let p = mem.alloc_i32(1);
+        mem.write_i32(p, 37);
+        let out = run_single(&m, mem, f, vec![RtVal::Int(p as i64)], &mut NullSink).unwrap();
+        assert_eq!(out.returns[0], Some(RtVal::Int(37)));
+        assert_eq!(out.mem.read_i32(p), 42);
+    }
+
+    #[test]
+    fn accel_sgemm_functional_semantics() {
+        let mut m = Module::new("t");
+        let f = m.add_function(
+            "k",
+            vec![
+                ("a".into(), Type::Ptr),
+                ("b".into(), Type::Ptr),
+                ("c".into(), Type::Ptr),
+            ],
+            Type::Void,
+        );
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let (pa, pb, pc) = (b.param(0), b.param(1), b.param(2));
+        b.accel_call(
+            AccelOp::Sgemm,
+            vec![
+                pa,
+                pb,
+                pc,
+                Constant::i64(2).into(),
+                Constant::i64(2).into(),
+                Constant::i64(2).into(),
+            ],
+        );
+        b.ret(None);
+        let mut mem = MemImage::new();
+        let a = mem.alloc_f32(4);
+        let bb = mem.alloc_f32(4);
+        let c = mem.alloc_f32(4);
+        mem.fill_f32(a, &[1.0, 2.0, 3.0, 4.0]);
+        mem.fill_f32(bb, &[5.0, 6.0, 7.0, 8.0]);
+        let out = run_single(
+            &m,
+            mem,
+            f,
+            vec![
+                RtVal::Int(a as i64),
+                RtVal::Int(bb as i64),
+                RtVal::Int(c as i64),
+            ],
+            &mut NullSink,
+        )
+        .unwrap();
+        assert_eq!(out.mem.read_f32_slice(c, 4), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut m = Module::new("t");
+        let f = m.add_function("spin", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        let l = b.create_block("loop");
+        b.switch_to(e);
+        b.br(l);
+        b.switch_to(l);
+        b.br(l);
+        let mut sink = NullSink;
+        let mut interp = interp::Interpreter::new(
+            &m,
+            MemImage::new(),
+            &[TileProgram::single(f, vec![])],
+            &mut sink,
+        );
+        interp.set_step_limit(1000);
+        assert!(matches!(interp.run(), Err(ExecError::StepLimit(_))));
+    }
+}

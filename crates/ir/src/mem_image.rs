@@ -1,0 +1,339 @@
+//! Byte-addressed memory image backing functional execution.
+//!
+//! The interpreter executes kernels against a [`MemImage`]: a flat,
+//! growable byte array with a simple bump allocator. Host code allocates
+//! buffers, fills them with workload data, runs the kernel, and reads
+//! results back. Addresses handed to kernels are plain `u64`s, so the
+//! recorded memory traces look exactly like the paper's instrumented-binary
+//! traces.
+
+use crate::types::Type;
+
+/// Base address of the first allocation. Leaving page zero unmapped makes
+/// null-pointer bugs in kernels fail fast.
+const BASE_ADDR: u64 = 0x1000;
+
+/// A flat byte-addressed memory image with a bump allocator.
+///
+/// # Examples
+///
+/// ```
+/// use mosaic_ir::MemImage;
+/// let mut mem = MemImage::new();
+/// let buf = mem.alloc_f32(4);
+/// mem.write_f32(buf + 8, 2.5);
+/// assert_eq!(mem.read_f32(buf + 8), 2.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemImage {
+    bytes: Vec<u8>,
+    next: u64,
+}
+
+impl MemImage {
+    /// Creates an empty image.
+    pub fn new() -> Self {
+        MemImage {
+            bytes: Vec::new(),
+            next: BASE_ADDR,
+        }
+    }
+
+    /// Total bytes currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next - BASE_ADDR
+    }
+
+    /// Allocates `size` bytes aligned to `align` and returns the address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, size: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.next + align - 1) & !(align - 1);
+        self.next = addr + size;
+        let need = (self.next - BASE_ADDR) as usize;
+        if self.bytes.len() < need {
+            self.bytes.resize(need, 0);
+        }
+        addr
+    }
+
+    /// Allocates an array of `n` 32-bit integers.
+    pub fn alloc_i32(&mut self, n: u64) -> u64 {
+        self.alloc(n * 4, 64)
+    }
+
+    /// Allocates an array of `n` 64-bit integers.
+    pub fn alloc_i64(&mut self, n: u64) -> u64 {
+        self.alloc(n * 8, 64)
+    }
+
+    /// Allocates an array of `n` 32-bit floats.
+    pub fn alloc_f32(&mut self, n: u64) -> u64 {
+        self.alloc(n * 4, 64)
+    }
+
+    /// Allocates an array of `n` 64-bit floats.
+    pub fn alloc_f64(&mut self, n: u64) -> u64 {
+        self.alloc(n * 8, 64)
+    }
+
+    fn off(&self, addr: u64, len: usize) -> usize {
+        assert!(
+            addr >= BASE_ADDR && (addr - BASE_ADDR) as usize + len <= self.bytes.len(),
+            "memory access out of bounds: addr={addr:#x} len={len}"
+        );
+        (addr - BASE_ADDR) as usize
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> &[u8] {
+        let o = self.off(addr, len);
+        &self.bytes[o..o + len]
+    }
+
+    /// Writes bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        let o = self.off(addr, data.len());
+        self.bytes[o..o + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads an `i8`.
+    pub fn read_i8(&self, addr: u64) -> i8 {
+        self.read_bytes(addr, 1)[0] as i8
+    }
+
+    /// Reads an `i16`.
+    pub fn read_i16(&self, addr: u64) -> i16 {
+        i16::from_le_bytes(self.read_bytes(addr, 2).try_into().expect("len"))
+    }
+
+    /// Reads an `i32`.
+    pub fn read_i32(&self, addr: u64) -> i32 {
+        i32::from_le_bytes(self.read_bytes(addr, 4).try_into().expect("len"))
+    }
+
+    /// Reads an `i64`.
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        i64::from_le_bytes(self.read_bytes(addr, 8).try_into().expect("len"))
+    }
+
+    /// Reads an `f32`.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_le_bytes(self.read_bytes(addr, 4).try_into().expect("len"))
+    }
+
+    /// Reads an `f64`.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_le_bytes(self.read_bytes(addr, 8).try_into().expect("len"))
+    }
+
+    /// Writes an `i8`.
+    pub fn write_i8(&mut self, addr: u64, v: i8) {
+        self.write_bytes(addr, &[v as u8]);
+    }
+
+    /// Writes an `i16`.
+    pub fn write_i16(&mut self, addr: u64, v: i16) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Writes an `i32`.
+    pub fn write_i32(&mut self, addr: u64, v: i32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Writes an `i64`.
+    pub fn write_i64(&mut self, addr: u64, v: i64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Writes an `f32`.
+    pub fn write_f32(&mut self, addr: u64, v: f32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: u64, v: f64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a typed scalar as a runtime value.
+    pub(crate) fn read_typed(&self, addr: u64, ty: Type) -> RtVal {
+        match ty {
+            Type::I1 | Type::I8 => RtVal::Int(self.read_i8(addr) as i64),
+            Type::I16 => RtVal::Int(self.read_i16(addr) as i64),
+            Type::I32 => RtVal::Int(self.read_i32(addr) as i64),
+            Type::I64 | Type::Ptr => RtVal::Int(self.read_i64(addr)),
+            Type::F32 => RtVal::Float(self.read_f32(addr) as f64),
+            Type::F64 => RtVal::Float(self.read_f64(addr)),
+            Type::Void => panic!("cannot read void"),
+        }
+    }
+
+    /// Writes a typed scalar from a runtime value.
+    pub(crate) fn write_typed(&mut self, addr: u64, ty: Type, v: RtVal) {
+        match ty {
+            Type::I1 | Type::I8 => self.write_i8(addr, v.as_int() as i8),
+            Type::I16 => self.write_i16(addr, v.as_int() as i16),
+            Type::I32 => self.write_i32(addr, v.as_int() as i32),
+            Type::I64 | Type::Ptr => self.write_i64(addr, v.as_int()),
+            Type::F32 => self.write_f32(addr, v.as_float() as f32),
+            Type::F64 => self.write_f64(addr, v.as_float()),
+            Type::Void => panic!("cannot write void"),
+        }
+    }
+
+    /// Fills an `f32` array from a slice.
+    pub fn fill_f32(&mut self, addr: u64, data: &[f32]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write_f32(addr + 4 * i as u64, *v);
+        }
+    }
+
+    /// Fills an `i32` array from a slice.
+    pub fn fill_i32(&mut self, addr: u64, data: &[i32]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write_i32(addr + 4 * i as u64, *v);
+        }
+    }
+
+    /// Fills an `i64` array from a slice.
+    pub fn fill_i64(&mut self, addr: u64, data: &[i64]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write_i64(addr + 8 * i as u64, *v);
+        }
+    }
+
+    /// Fills an `f64` array from a slice.
+    pub fn fill_f64(&mut self, addr: u64, data: &[f64]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write_f64(addr + 8 * i as u64, *v);
+        }
+    }
+
+    /// Reads an `f32` array into a `Vec`.
+    pub fn read_f32_slice(&self, addr: u64, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Reads an `i32` array into a `Vec`.
+    pub fn read_i32_slice(&self, addr: u64, n: usize) -> Vec<i32> {
+        (0..n).map(|i| self.read_i32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Reads an `i64` array into a `Vec`.
+    pub fn read_i64_slice(&self, addr: u64, n: usize) -> Vec<i64> {
+        (0..n).map(|i| self.read_i64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Reads an `f64` array into a `Vec`.
+    pub fn read_f64_slice(&self, addr: u64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.read_f64(addr + 8 * i as u64)).collect()
+    }
+}
+
+/// A runtime scalar value inside the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtVal {
+    /// Integer (also carries pointers and booleans).
+    Int(i64),
+    /// Floating point (f32 values are widened).
+    Float(f64),
+}
+
+impl RtVal {
+    /// The value as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a float.
+    pub fn as_int(self) -> i64 {
+        match self {
+            RtVal::Int(v) => v,
+            RtVal::Float(v) => panic!("expected int, found float {v}"),
+        }
+    }
+
+    /// The value as a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an integer.
+    pub fn as_float(self) -> f64 {
+        match self {
+            RtVal::Float(v) => v,
+            RtVal::Int(v) => panic!("expected float, found int {v}"),
+        }
+    }
+
+    /// The value as a boolean (nonzero integer).
+    pub fn as_bool(self) -> bool {
+        self.as_int() != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut m = MemImage::new();
+        let a = m.alloc(3, 1);
+        let b = m.alloc(8, 64);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 3);
+    }
+
+    #[test]
+    fn typed_round_trips() {
+        let mut m = MemImage::new();
+        let p = m.alloc(64, 64);
+        m.write_typed(p, Type::I32, RtVal::Int(-7));
+        assert_eq!(m.read_typed(p, Type::I32), RtVal::Int(-7));
+        m.write_typed(p + 8, Type::F32, RtVal::Float(1.5));
+        assert_eq!(m.read_typed(p + 8, Type::F32), RtVal::Float(1.5));
+        m.write_typed(p + 16, Type::F64, RtVal::Float(-2.25));
+        assert_eq!(m.read_typed(p + 16, Type::F64), RtVal::Float(-2.25));
+        m.write_typed(p + 24, Type::I8, RtVal::Int(130));
+        // i8 wraps
+        assert_eq!(m.read_typed(p + 24, Type::I8), RtVal::Int(-126));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let m = MemImage::new();
+        let _ = m.read_i32(0x1000);
+    }
+
+    #[test]
+    fn slice_helpers_round_trip() {
+        let mut m = MemImage::new();
+        let p = m.alloc_f32(4);
+        m.fill_f32(p, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.read_f32_slice(p, 4), vec![1.0, 2.0, 3.0, 4.0]);
+        let q = m.alloc_i64(2);
+        m.fill_i64(q, &[-1, 9]);
+        assert_eq!(m.read_i64_slice(q, 2), vec![-1, 9]);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_growth() {
+        let mut m = MemImage::new();
+        assert_eq!(m.allocated_bytes(), 0);
+        m.alloc(100, 4);
+        assert!(m.allocated_bytes() >= 100);
+    }
+}

@@ -1,0 +1,759 @@
+//! Parser for the textual IR produced by [`crate::printer`].
+//!
+//! The format round-trips: `parse_module(print_module(m))` reproduces `m`
+//! up to block names. This gives the toolchain a durable on-disk kernel
+//! format and makes tests/examples self-describing.
+
+use crate::function::{Function, IrError, Module};
+use crate::ids::{BlockId, FuncId, InstId};
+use crate::inst::{
+    AccelOp, AtomicOp, BinOp, CastKind, FloatPredicate, Inst, IntPredicate, Intrinsic, Opcode,
+    Operand,
+};
+use crate::types::{Constant, Type};
+
+fn perr(line: usize, message: impl Into<String>) -> IrError {
+    IrError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Splits `s` on top-level `", "` separators (commas inside `[...]` or
+/// `(...)` do not split).
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' | b'(' => depth += 1,
+            b']' | b')' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => {
+                parts.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        parts.push(last);
+    }
+    parts
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, IrError> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("$%") {
+        let n: u32 = rest
+            .parse()
+            .map_err(|_| perr(line, format!("bad parameter operand `{s}`")))?;
+        return Ok(Operand::Param(n));
+    }
+    if let Some(rest) = s.strip_prefix('%') {
+        let n: u32 = rest
+            .parse()
+            .map_err(|_| perr(line, format!("bad value operand `{s}`")))?;
+        return Ok(Operand::Inst(InstId(n)));
+    }
+    // `<ty> <literal>` constant.
+    let (ty_s, lit) = s
+        .split_once(' ')
+        .ok_or_else(|| perr(line, format!("bad operand `{s}`")))?;
+    let ty = Type::from_keyword(ty_s).ok_or_else(|| perr(line, format!("bad type `{ty_s}`")))?;
+    if ty.is_float() {
+        let v: f64 = lit
+            .trim()
+            .parse()
+            .map_err(|_| perr(line, format!("bad float literal `{lit}`")))?;
+        Ok(Operand::Const(Constant::Float(v, ty)))
+    } else {
+        let v: i64 = lit
+            .trim()
+            .parse()
+            .map_err(|_| perr(line, format!("bad int literal `{lit}`")))?;
+        Ok(Operand::Const(Constant::Int(v, ty)))
+    }
+}
+
+fn parse_block_ref(s: &str, line: usize) -> Result<BlockId, IrError> {
+    let rest = s
+        .trim()
+        .strip_prefix("bb")
+        .ok_or_else(|| perr(line, format!("expected block ref, got `{s}`")))?;
+    let n: u32 = rest
+        .parse()
+        .map_err(|_| perr(line, format!("bad block ref `{s}`")))?;
+    Ok(BlockId(n))
+}
+
+struct PendingInst {
+    printed_id: Option<u32>,
+    block: BlockId,
+    text: String,
+    line: usize,
+}
+
+fn parse_inst_body(text: &str, line: usize) -> Result<(Opcode, Type), IrError> {
+    let text = text.trim();
+    let (head, rest) = text.split_once(' ').unwrap_or((text, ""));
+    let rest = rest.trim();
+
+    if let Some(op) = BinOp::from_mnemonic(head) {
+        let (ty_s, operands) = rest
+            .split_once(' ')
+            .ok_or_else(|| perr(line, "binop needs type and operands"))?;
+        let ty =
+            Type::from_keyword(ty_s).ok_or_else(|| perr(line, format!("bad type `{ty_s}`")))?;
+        let parts = split_top_level(operands);
+        if parts.len() != 2 {
+            return Err(perr(line, "binop needs two operands"));
+        }
+        return Ok((
+            Opcode::Bin {
+                op,
+                lhs: parse_operand(parts[0], line)?,
+                rhs: parse_operand(parts[1], line)?,
+            },
+            ty,
+        ));
+    }
+
+    if let Some(op) = AtomicOp::from_mnemonic(head) {
+        let (ty_s, operands) = rest
+            .split_once(' ')
+            .ok_or_else(|| perr(line, "atomic needs type and operands"))?;
+        let ty =
+            Type::from_keyword(ty_s).ok_or_else(|| perr(line, format!("bad type `{ty_s}`")))?;
+        let parts = split_top_level(operands);
+        if parts.len() < 2 || parts.len() > 3 {
+            return Err(perr(line, "atomic needs two or three operands"));
+        }
+        let expected = if parts.len() == 3 {
+            Some(parse_operand(parts[2], line)?)
+        } else {
+            None
+        };
+        return Ok((
+            Opcode::AtomicRmw {
+                op,
+                addr: parse_operand(parts[0], line)?,
+                value: parse_operand(parts[1], line)?,
+                expected,
+            },
+            ty,
+        ));
+    }
+
+    if let Some(kind) = CastKind::from_mnemonic(head) {
+        let (val_s, ty_s) = rest
+            .split_once(" to ")
+            .ok_or_else(|| perr(line, "cast needs `<value> to <type>`"))?;
+        let ty = Type::from_keyword(ty_s.trim())
+            .ok_or_else(|| perr(line, format!("bad type `{ty_s}`")))?;
+        return Ok((
+            Opcode::Cast {
+                kind,
+                value: parse_operand(val_s, line)?,
+            },
+            ty,
+        ));
+    }
+
+    match head {
+        "icmp" => {
+            let (pred_s, operands) = rest
+                .split_once(' ')
+                .ok_or_else(|| perr(line, "icmp needs predicate"))?;
+            let pred = IntPredicate::from_mnemonic(pred_s)
+                .ok_or_else(|| perr(line, format!("bad predicate `{pred_s}`")))?;
+            let parts = split_top_level(operands);
+            if parts.len() != 2 {
+                return Err(perr(line, "icmp needs two operands"));
+            }
+            Ok((
+                Opcode::ICmp {
+                    pred,
+                    lhs: parse_operand(parts[0], line)?,
+                    rhs: parse_operand(parts[1], line)?,
+                },
+                Type::I1,
+            ))
+        }
+        "fcmp" => {
+            let (pred_s, operands) = rest
+                .split_once(' ')
+                .ok_or_else(|| perr(line, "fcmp needs predicate"))?;
+            let pred = FloatPredicate::from_mnemonic(pred_s)
+                .ok_or_else(|| perr(line, format!("bad predicate `{pred_s}`")))?;
+            let parts = split_top_level(operands);
+            if parts.len() != 2 {
+                return Err(perr(line, "fcmp needs two operands"));
+            }
+            Ok((
+                Opcode::FCmp {
+                    pred,
+                    lhs: parse_operand(parts[0], line)?,
+                    rhs: parse_operand(parts[1], line)?,
+                },
+                Type::I1,
+            ))
+        }
+        "select" => {
+            let (ty_s, operands) = rest
+                .split_once(' ')
+                .ok_or_else(|| perr(line, "select needs type"))?;
+            let ty =
+                Type::from_keyword(ty_s).ok_or_else(|| perr(line, format!("bad type `{ty_s}`")))?;
+            let parts = split_top_level(operands);
+            if parts.len() != 3 {
+                return Err(perr(line, "select needs three operands"));
+            }
+            Ok((
+                Opcode::Select {
+                    cond: parse_operand(parts[0], line)?,
+                    on_true: parse_operand(parts[1], line)?,
+                    on_false: parse_operand(parts[2], line)?,
+                },
+                ty,
+            ))
+        }
+        "gep" => {
+            let parts = split_top_level(rest);
+            if parts.len() != 3 {
+                return Err(perr(line, "gep needs base, index, elem_size"));
+            }
+            let elem_size: u32 = parts[2]
+                .parse()
+                .map_err(|_| perr(line, format!("bad elem size `{}`", parts[2])))?;
+            Ok((
+                Opcode::Gep {
+                    base: parse_operand(parts[0], line)?,
+                    index: parse_operand(parts[1], line)?,
+                    elem_size,
+                },
+                Type::Ptr,
+            ))
+        }
+        "load" => {
+            let parts = split_top_level(rest);
+            if parts.len() != 2 {
+                return Err(perr(line, "load needs type, address"));
+            }
+            let ty = Type::from_keyword(parts[0])
+                .ok_or_else(|| perr(line, format!("bad type `{}`", parts[0])))?;
+            Ok((
+                Opcode::Load {
+                    addr: parse_operand(parts[1], line)?,
+                },
+                ty,
+            ))
+        }
+        "store" => {
+            let parts = split_top_level(rest);
+            if parts.len() != 2 {
+                return Err(perr(line, "store needs address, value"));
+            }
+            Ok((
+                Opcode::Store {
+                    addr: parse_operand(parts[0], line)?,
+                    value: parse_operand(parts[1], line)?,
+                },
+                Type::Void,
+            ))
+        }
+        "phi" => {
+            let (ty_s, edges) = rest
+                .split_once(' ')
+                .ok_or_else(|| perr(line, "phi needs type"))?;
+            let ty =
+                Type::from_keyword(ty_s).ok_or_else(|| perr(line, format!("bad type `{ty_s}`")))?;
+            let mut incoming = Vec::new();
+            for part in split_top_level(edges) {
+                let inner = part
+                    .trim()
+                    .strip_prefix('[')
+                    .and_then(|p| p.strip_suffix(']'))
+                    .ok_or_else(|| perr(line, format!("bad phi edge `{part}`")))?;
+                let (bb_s, val_s) = inner
+                    .split_once(':')
+                    .ok_or_else(|| perr(line, format!("bad phi edge `{part}`")))?;
+                incoming.push((parse_block_ref(bb_s, line)?, parse_operand(val_s, line)?));
+            }
+            Ok((Opcode::Phi { incoming }, ty))
+        }
+        "call" => {
+            let (ty_s, callee) = rest
+                .split_once(' ')
+                .ok_or_else(|| perr(line, "call needs type and callee"))?;
+            let ty =
+                Type::from_keyword(ty_s).ok_or_else(|| perr(line, format!("bad type `{ty_s}`")))?;
+            let open = callee
+                .find('(')
+                .ok_or_else(|| perr(line, "call needs argument list"))?;
+            let name = callee[..open].trim();
+            let args_s = callee[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| perr(line, "unterminated call argument list"))?;
+            let args = if args_s.trim().is_empty() {
+                Vec::new()
+            } else {
+                split_top_level(args_s)
+                    .into_iter()
+                    .map(|a| parse_operand(a, line))
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            if let Some(accel) = AccelOp::from_name(name) {
+                return Ok((Opcode::AccelCall { accel, args }, Type::Void));
+            }
+            let intr = Intrinsic::from_name(name)
+                .ok_or_else(|| perr(line, format!("unknown callee `{name}`")))?;
+            Ok((Opcode::Call { intr, args }, ty))
+        }
+        "send" => {
+            let parts = split_top_level(rest);
+            if parts.len() != 2 {
+                return Err(perr(line, "send needs queue, value"));
+            }
+            let queue: u32 = parts[0]
+                .strip_prefix('q')
+                .and_then(|q| q.parse().ok())
+                .ok_or_else(|| perr(line, format!("bad queue `{}`", parts[0])))?;
+            Ok((
+                Opcode::Send {
+                    queue,
+                    value: parse_operand(parts[1], line)?,
+                },
+                Type::Void,
+            ))
+        }
+        "recv" => {
+            let parts = split_top_level(rest);
+            if parts.len() != 2 {
+                return Err(perr(line, "recv needs type, queue"));
+            }
+            let ty = Type::from_keyword(parts[0])
+                .ok_or_else(|| perr(line, format!("bad type `{}`", parts[0])))?;
+            let queue: u32 = parts[1]
+                .strip_prefix('q')
+                .and_then(|q| q.parse().ok())
+                .ok_or_else(|| perr(line, format!("bad queue `{}`", parts[1])))?;
+            Ok((Opcode::Recv { queue }, ty))
+        }
+        "br" => Ok((
+            Opcode::Br {
+                target: parse_block_ref(rest, line)?,
+            },
+            Type::Void,
+        )),
+        "condbr" => {
+            let parts = split_top_level(rest);
+            if parts.len() != 3 {
+                return Err(perr(line, "condbr needs cond, then, else"));
+            }
+            Ok((
+                Opcode::CondBr {
+                    cond: parse_operand(parts[0], line)?,
+                    on_true: parse_block_ref(parts[1], line)?,
+                    on_false: parse_block_ref(parts[2], line)?,
+                },
+                Type::Void,
+            ))
+        }
+        "ret" => {
+            if rest == "void" {
+                Ok((Opcode::Ret { value: None }, Type::Void))
+            } else {
+                Ok((
+                    Opcode::Ret {
+                        value: Some(parse_operand(rest, line)?),
+                    },
+                    Type::Void,
+                ))
+            }
+        }
+        other => Err(perr(line, format!("unknown instruction `{other}`"))),
+    }
+}
+
+type Header = (String, Vec<(String, Type)>, Type);
+
+fn parse_header(line_text: &str, line: usize) -> Result<Header, IrError> {
+    // func @name(ty %p, ...) -> retty {
+    let rest = line_text
+        .trim()
+        .strip_prefix("func @")
+        .ok_or_else(|| perr(line, "expected `func @name(...)`"))?;
+    let open = rest.find('(').ok_or_else(|| perr(line, "missing `(`"))?;
+    let name = rest[..open].to_string();
+    let close = rest.rfind(')').ok_or_else(|| perr(line, "missing `)`"))?;
+    let params_s = &rest[open + 1..close];
+    let tail = rest[close + 1..].trim();
+    let ret_s = tail
+        .strip_prefix("->")
+        .and_then(|t| t.trim().strip_suffix('{'))
+        .ok_or_else(|| perr(line, "expected `-> ty {`"))?
+        .trim();
+    let ret_ty =
+        Type::from_keyword(ret_s).ok_or_else(|| perr(line, format!("bad return type `{ret_s}`")))?;
+    let mut params = Vec::new();
+    if !params_s.trim().is_empty() {
+        for p in params_s.split(',') {
+            let p = p.trim();
+            let (ty_s, name_s) = p
+                .split_once(' ')
+                .ok_or_else(|| perr(line, format!("bad parameter `{p}`")))?;
+            let ty = Type::from_keyword(ty_s)
+                .ok_or_else(|| perr(line, format!("bad type `{ty_s}`")))?;
+            let pname = name_s.trim().strip_prefix('%').unwrap_or(name_s).to_string();
+            params.push((pname, ty));
+        }
+    }
+    Ok((name, params, ret_ty))
+}
+
+/// Parses a module from the textual format.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with a line number on malformed input. The
+/// returned module has been re-verified.
+///
+/// # Examples
+///
+/// ```
+/// let text = "module demo\n\nfunc @id(i64 %x) -> i64 {\nbb0: ; entry\n  ret $%0\n}\n";
+/// let m = mosaic_ir::parse_module(text).unwrap();
+/// assert_eq!(m.functions().count(), 1);
+/// ```
+pub fn parse_module(text: &str) -> Result<Module, IrError> {
+    let mut lines = text.lines().enumerate().peekable();
+    let mut module_name = "module".to_string();
+    let mut module = Module::new(&module_name);
+
+    while let Some((lno, raw)) = lines.next() {
+        let line = lno + 1;
+        let t = raw.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(name) = t.strip_prefix("module ") {
+            module_name = name.trim().to_string();
+            module = Module {
+                name: module_name.clone(),
+                functions: module.functions,
+            };
+            continue;
+        }
+        if t.starts_with("func @") {
+            let (name, params, ret_ty) = parse_header(t, line)?;
+            let mut blocks: Vec<(u32, String)> = Vec::new();
+            let mut pending: Vec<PendingInst> = Vec::new();
+            let mut current_block: Option<BlockId> = None;
+            let mut closed = false;
+            for (lno2, raw2) in lines.by_ref() {
+                let line2 = lno2 + 1;
+                let t2 = raw2.trim();
+                if t2.is_empty() {
+                    continue;
+                }
+                if t2 == "}" {
+                    closed = true;
+                    break;
+                }
+                if let Some(head) = t2.strip_prefix("bb") {
+                    if let Some(colon) = head.find(':') {
+                        if head[..colon].chars().all(|c| c.is_ascii_digit()) {
+                            let id: u32 = head[..colon]
+                                .parse()
+                                .map_err(|_| perr(line2, "bad block id"))?;
+                            let bname = head[colon + 1..]
+                                .trim()
+                                .trim_start_matches(';')
+                                .trim()
+                                .to_string();
+                            if id as usize != blocks.len() {
+                                return Err(perr(line2, "blocks must appear in id order"));
+                            }
+                            blocks.push((id, if bname.is_empty() { format!("bb{id}") } else { bname }));
+                            current_block = Some(BlockId(id));
+                            continue;
+                        }
+                    }
+                }
+                let block = current_block
+                    .ok_or_else(|| perr(line2, "instruction before first block label"))?;
+                let (printed_id, body) = if let Some(eq) = t2.find(" = ") {
+                    let lhs = t2[..eq].trim();
+                    let n: u32 = lhs
+                        .strip_prefix('%')
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| perr(line2, format!("bad result name `{lhs}`")))?;
+                    (Some(n), t2[eq + 3..].to_string())
+                } else {
+                    (None, t2.to_string())
+                };
+                pending.push(PendingInst {
+                    printed_id,
+                    block,
+                    text: body,
+                    line: line2,
+                });
+            }
+            if !closed {
+                return Err(perr(line, format!("function `{name}` missing closing `}}`")));
+            }
+
+            // Assign arena slots: named results keep their printed id; void
+            // instructions fill remaining slots in appearance order.
+            let named: std::collections::HashSet<u32> =
+                pending.iter().filter_map(|p| p.printed_id).collect();
+            let total = pending.len() as u32;
+            let mut next_free = 0u32;
+            let mut alloc_void = || {
+                while named.contains(&next_free) {
+                    next_free += 1;
+                }
+                let id = next_free;
+                next_free += 1;
+                id
+            };
+            let mut func = Function::new(FuncId(0), &name, params, ret_ty);
+            for (id, bname) in &blocks {
+                let b = func.push_block(bname);
+                debug_assert_eq!(b.0, *id);
+            }
+            let mut arena: Vec<Option<Inst>> = (0..total).map(|_| None).collect();
+            for p in &pending {
+                let id = match p.printed_id {
+                    Some(n) => n,
+                    None => alloc_void(),
+                };
+                if id >= total {
+                    return Err(perr(p.line, format!("result id %{id} out of range")));
+                }
+                let (op, ty) = parse_inst_body(&p.text, p.line)?;
+                let ty = if p.printed_id.is_none() { Type::Void } else { ty };
+                if arena[id as usize].is_some() {
+                    return Err(perr(p.line, format!("duplicate result id %{id}")));
+                }
+                arena[id as usize] = Some(Inst {
+                    id: InstId(id),
+                    block: p.block,
+                    op,
+                    ty,
+                });
+                func.blocks[p.block.index()].insts.push(InstId(id));
+            }
+            func.insts = arena
+                .into_iter()
+                .enumerate()
+                .map(|(i, inst)| inst.ok_or_else(|| perr(line, format!("missing inst id %{i}"))))
+                .collect::<Result<Vec<_>, _>>()?;
+            module.add_built_function(func);
+            continue;
+        }
+        return Err(perr(line, format!("unexpected line `{t}`")));
+    }
+
+    crate::verify::verify_module(&module)?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, IntPredicate};
+    use crate::printer::print_module;
+    use crate::types::Constant;
+
+    fn loop_module() -> Module {
+        let mut m = Module::new("demo");
+        let f = m.add_function(
+            "vadd",
+            vec![("a".into(), Type::Ptr), ("b".into(), Type::Ptr), ("n".into(), Type::I64)],
+            Type::Void,
+        );
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (a, bp, n) = (b.param(0), b.param(1), b.param(2));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("l", Constant::i64(0).into(), n, |b, i| {
+            let aa = b.gep(a, i, 4);
+            let av = b.load(Type::F32, aa);
+            let ba = b.gep(bp, i, 4);
+            let bv = b.load(Type::F32, ba);
+            let s = b.bin(BinOp::FAdd, av, bv);
+            b.store(aa, s);
+        });
+        b.ret(None);
+        m
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let m = loop_module();
+        let text = print_module(&m);
+        let m2 = parse_module(&text).expect("parse");
+        // Round trip again: stable fixed point.
+        let text2 = print_module(&m2);
+        assert_eq!(text, text2);
+        let f = m2.function_by_name("vadd").unwrap();
+        assert_eq!(m2.function(f).block_count(), 4);
+        let _ = IntPredicate::Slt;
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "module x\n\nfunc @f() -> void {\nbb0: ; e\n  bogus_op %1\n}\n";
+        match parse_module(bad) {
+            Err(IrError::Parse { line, .. }) => assert_eq!(line, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unclosed_function() {
+        let bad = "func @f() -> void {\nbb0: ; e\n  ret void\n";
+        assert!(parse_module(bad).is_err());
+    }
+
+    #[test]
+    fn parse_supports_all_constant_kinds() {
+        let text = "func @f(ptr %p) -> f64 {\nbb0: ; e\n  %1 = fadd f64 f64 1.5, f64 -2.0\n  store $%0, i32 7\n  ret %1\n}\n";
+        let m = parse_module(text).unwrap();
+        let f = m.function(m.function_by_name("f").unwrap());
+        assert_eq!(f.inst_count(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, IntPredicate, Intrinsic};
+    use crate::interp::NullSink;
+    use crate::mem_image::{MemImage, RtVal};
+    use crate::printer::print_module;
+    use proptest::prelude::*;
+
+    /// A recipe for one instruction inside the generated kernel body.
+    #[derive(Debug, Clone)]
+    enum OpRecipe {
+        Add(u8),
+        Mul(u8),
+        Xor(u8),
+        Min(u8),
+        LoadStore,
+    }
+
+    fn recipe() -> impl Strategy<Value = OpRecipe> {
+        prop_oneof![
+            any::<u8>().prop_map(OpRecipe::Add),
+            any::<u8>().prop_map(OpRecipe::Mul),
+            any::<u8>().prop_map(OpRecipe::Xor),
+            any::<u8>().prop_map(OpRecipe::Min),
+            Just(OpRecipe::LoadStore),
+        ]
+    }
+
+    /// Builds a random-but-valid kernel: a counted loop whose body applies
+    /// the recipes to a running value and optionally touches memory.
+    fn build(recipes: &[OpRecipe], n: i64) -> (Module, crate::ids::FuncId) {
+        let mut m = Module::new("gen");
+        let f = m.add_function(
+            "k",
+            vec![("p".into(), Type::Ptr), ("n".into(), Type::I64)],
+            Type::I64,
+        );
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (p, nn) = (b.param(0), b.param(1));
+        let entry = b.create_block("entry");
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.switch_to(entry);
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi_incomplete(Type::I64);
+        let (acc, acc_phi) = b.phi_incomplete(Type::I64);
+        let c = b.icmp(IntPredicate::Slt, i, nn);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let mut v = acc;
+        for r in recipes {
+            v = match r {
+                OpRecipe::Add(k) => b.bin(BinOp::Add, v, Constant::i64(*k as i64).into()),
+                OpRecipe::Mul(k) => {
+                    b.bin(BinOp::Mul, v, Constant::i64((*k % 7 + 1) as i64).into())
+                }
+                OpRecipe::Xor(k) => b.bin(BinOp::Xor, v, Constant::i64(*k as i64).into()),
+                OpRecipe::Min(k) => b.call(
+                    Intrinsic::SMin,
+                    vec![v, Constant::i64(*k as i64 * 1000).into()],
+                    Type::I64,
+                ),
+                OpRecipe::LoadStore => {
+                    let slot = b.bin(BinOp::And, v, Constant::i64(7).into());
+                    let a = b.gep(p, slot, 8);
+                    let old = b.load(Type::I64, a);
+                    let nv = b.bin(BinOp::Add, old, i);
+                    b.store(a, nv);
+                    b.bin(BinOp::Add, v, old)
+                }
+            };
+        }
+        let i2 = b.bin(BinOp::Add, i, Constant::i64(1).into());
+        b.br(header);
+        b.phi_add_incoming(i_phi, entry, Constant::i64(0).into());
+        b.phi_add_incoming(i_phi, body, i2);
+        b.phi_add_incoming(acc_phi, entry, Constant::i64(1).into());
+        b.phi_add_incoming(acc_phi, body, v);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        crate::verify::verify_module(&m).unwrap();
+        let _ = n;
+        (m, f)
+    }
+
+    fn run(m: &Module, f: crate::ids::FuncId, n: i64) -> (Option<RtVal>, Vec<i64>) {
+        let mut mem = MemImage::new();
+        let p = mem.alloc_i64(8);
+        let out = crate::interp::run_single(
+            m,
+            mem,
+            f,
+            vec![RtVal::Int(p as i64), RtVal::Int(n)],
+            &mut NullSink,
+        )
+        .unwrap();
+        (out.returns[0], out.mem.read_i64_slice(p, 8))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// print -> parse is a fixed point AND the parsed module computes
+        /// the same result (return value + memory effects) as the original.
+        #[test]
+        fn print_parse_preserves_semantics(
+            recipes in proptest::collection::vec(recipe(), 1..8),
+            n in 1i64..24,
+        ) {
+            let (m, f) = build(&recipes, n);
+            let text = print_module(&m);
+            let m2 = parse_module(&text).expect("generated IR reparses");
+            prop_assert_eq!(print_module(&m2), text, "printer fixed point");
+            let f2 = m2.function_by_name("k").expect("kernel present");
+            let (r1, mem1) = run(&m, f, n);
+            let (r2, mem2) = run(&m2, f2, n);
+            prop_assert_eq!(r1, r2);
+            prop_assert_eq!(mem1, mem2);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Textual form of the IR (LLVM-flavoured).
+//!
+//! [`print_function`] / [`print_module`] produce a stable textual format
+//! that [`crate::parser::parse_module`] can read back; the round trip is
+//! exercised by property tests.
+
+use std::fmt::Write as _;
+
+use crate::function::{Function, Module};
+use crate::inst::{Opcode, Operand};
+use crate::types::Constant;
+
+fn fmt_operand(op: Operand) -> String {
+    match op {
+        Operand::Inst(id) => format!("%{}", id.0),
+        Operand::Param(n) => format!("$%{n}"),
+        Operand::Const(Constant::Int(v, t)) => format!("{t} {v}"),
+        Operand::Const(Constant::Float(v, t)) => {
+            // `{:?}` keeps a decimal point / exponent so the parser can
+            // distinguish float constants from ints.
+            format!("{t} {v:?}")
+        }
+    }
+}
+
+/// Renders one instruction (without trailing newline).
+pub fn print_inst(func: &Function, id: crate::ids::InstId) -> String {
+    let inst = func.inst(id);
+    let mut s = String::new();
+    if inst.produces_value() {
+        let _ = write!(s, "%{} = ", id.0);
+    }
+    match inst.op() {
+        Opcode::Bin { op, lhs, rhs } => {
+            let _ = write!(
+                s,
+                "{} {} {}, {}",
+                op.mnemonic(),
+                inst.ty(),
+                fmt_operand(*lhs),
+                fmt_operand(*rhs)
+            );
+        }
+        Opcode::ICmp { pred, lhs, rhs } => {
+            let _ = write!(
+                s,
+                "icmp {} {}, {}",
+                pred.mnemonic(),
+                fmt_operand(*lhs),
+                fmt_operand(*rhs)
+            );
+        }
+        Opcode::FCmp { pred, lhs, rhs } => {
+            let _ = write!(
+                s,
+                "fcmp {} {}, {}",
+                pred.mnemonic(),
+                fmt_operand(*lhs),
+                fmt_operand(*rhs)
+            );
+        }
+        Opcode::Select {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            let _ = write!(
+                s,
+                "select {} {}, {}, {}",
+                inst.ty(),
+                fmt_operand(*cond),
+                fmt_operand(*on_true),
+                fmt_operand(*on_false)
+            );
+        }
+        Opcode::Cast { kind, value } => {
+            let _ = write!(
+                s,
+                "{} {} to {}",
+                kind.mnemonic(),
+                fmt_operand(*value),
+                inst.ty()
+            );
+        }
+        Opcode::Gep {
+            base,
+            index,
+            elem_size,
+        } => {
+            let _ = write!(
+                s,
+                "gep {}, {}, {}",
+                fmt_operand(*base),
+                fmt_operand(*index),
+                elem_size
+            );
+        }
+        Opcode::Load { addr } => {
+            let _ = write!(s, "load {}, {}", inst.ty(), fmt_operand(*addr));
+        }
+        Opcode::Store { addr, value } => {
+            let _ = write!(s, "store {}, {}", fmt_operand(*addr), fmt_operand(*value));
+        }
+        Opcode::AtomicRmw {
+            op,
+            addr,
+            value,
+            expected,
+        } => {
+            let _ = write!(
+                s,
+                "{} {} {}, {}",
+                op.mnemonic(),
+                inst.ty(),
+                fmt_operand(*addr),
+                fmt_operand(*value)
+            );
+            if let Some(e) = expected {
+                let _ = write!(s, ", {}", fmt_operand(*e));
+            }
+        }
+        Opcode::Phi { incoming } => {
+            let _ = write!(s, "phi {} ", inst.ty());
+            for (i, (b, v)) in incoming.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "[bb{}: {}]", b.0, fmt_operand(*v));
+            }
+        }
+        Opcode::Call { intr, args } => {
+            let _ = write!(s, "call {} {}(", inst.ty(), intr.name());
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&fmt_operand(*a));
+            }
+            s.push(')');
+        }
+        Opcode::Send { queue, value } => {
+            let _ = write!(s, "send q{queue}, {}", fmt_operand(*value));
+        }
+        Opcode::Recv { queue } => {
+            let _ = write!(s, "recv {} q{queue}", inst.ty());
+        }
+        Opcode::AccelCall { accel, args } => {
+            let _ = write!(s, "call void {}(", accel.name());
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&fmt_operand(*a));
+            }
+            s.push(')');
+        }
+        Opcode::Br { target } => {
+            let _ = write!(s, "br bb{}", target.0);
+        }
+        Opcode::CondBr {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            let _ = write!(
+                s,
+                "condbr {}, bb{}, bb{}",
+                fmt_operand(*cond),
+                on_true.0,
+                on_false.0
+            );
+        }
+        Opcode::Ret { value } => match value {
+            Some(v) => {
+                let _ = write!(s, "ret {}", fmt_operand(*v));
+            }
+            None => s.push_str("ret void"),
+        },
+    }
+    s
+}
+
+/// Renders a function in the textual format.
+pub fn print_function(func: &Function) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "func @{}(", func.name());
+    for (i, (name, ty)) in func.params().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{ty} %{name}");
+    }
+    let _ = writeln!(s, ") -> {} {{", func.ret_ty());
+    for block in func.blocks() {
+        let _ = writeln!(s, "bb{}: ; {}", block.id().0, block.name());
+        for &iid in block.insts() {
+            let _ = writeln!(s, "  {}", print_inst(func, iid));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders an entire module.
+pub fn print_module(module: &Module) -> String {
+    let mut s = format!("module {}\n\n", module.name());
+    for f in module.functions() {
+        s.push_str(&print_function(f));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, IntPredicate};
+    use crate::types::{Constant, Type};
+
+    #[test]
+    fn printed_function_contains_all_blocks() {
+        let mut m = Module::new("t");
+        let f = m.add_function("vadd", vec![("a".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let p = b.param(0);
+        b.emit_counted_loop(
+            "l",
+            Constant::i64(0).into(),
+            Constant::i64(4).into(),
+            |b, i| {
+                let addr = b.gep(p, i, 4);
+                let v = b.load(Type::I32, addr);
+                let v2 = b.bin(BinOp::Add, v, Constant::i32(1).into());
+                b.store(addr, v2);
+            },
+        );
+        b.ret(None);
+        let text = print_function(m.function(f));
+        assert!(text.contains("func @vadd"));
+        assert!(text.contains("phi i64"));
+        assert!(text.contains("gep"));
+        assert!(text.contains("load i32"));
+        assert!(text.contains("condbr"));
+        assert_eq!(text.matches("bb").count() > 4, true);
+        let _ = IntPredicate::Slt;
+    }
+}

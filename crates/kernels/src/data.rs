@@ -1,0 +1,216 @@
+//! Deterministic workload generators.
+//!
+//! All generators are seeded so traces (and therefore simulations) are
+//! bit-reproducible across runs — a requirement for regression-testing
+//! the reproduction figures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fixed seed used by every generator (deterministic reproduction).
+pub const SEED: u64 = 0x4d6f_7361_6963; // "Mosaic"
+
+/// A seeded RNG for workload generation.
+pub fn rng() -> StdRng {
+    StdRng::seed_from_u64(SEED)
+}
+
+/// A seeded RNG with a caller-provided stream id (distinct sequences for
+/// distinct inputs of one kernel).
+pub fn rng_stream(stream: u64) -> StdRng {
+    StdRng::seed_from_u64(SEED ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// `n` uniform floats in `[0, 1)`.
+pub fn f32_vec(n: usize, stream: u64) -> Vec<f32> {
+    let mut r = rng_stream(stream);
+    (0..n).map(|_| r.gen::<f32>()).collect()
+}
+
+/// `n` uniform ints in `[0, bound)`.
+pub fn i32_vec(n: usize, bound: i32, stream: u64) -> Vec<i32> {
+    let mut r = rng_stream(stream);
+    (0..n).map(|_| r.gen_range(0..bound)).collect()
+}
+
+/// A sparse matrix in compressed-sparse-row form.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row pointers (`rows + 1` entries).
+    pub row_ptr: Vec<i32>,
+    /// Column indices per non-zero.
+    pub col_idx: Vec<i32>,
+    /// Values per non-zero.
+    pub values: Vec<f32>,
+}
+
+impl Csr {
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// A random CSR matrix with ~`nnz_per_row` non-zeros per row.
+pub fn random_csr(rows: usize, cols: usize, nnz_per_row: usize, stream: u64) -> Csr {
+    let mut r = rng_stream(stream);
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0);
+    for _ in 0..rows {
+        let k = r.gen_range(1..=nnz_per_row.max(1) * 2).min(cols);
+        let mut cols_in_row: Vec<i32> = (0..k).map(|_| r.gen_range(0..cols as i32)).collect();
+        cols_in_row.sort_unstable();
+        cols_in_row.dedup();
+        for c in cols_in_row {
+            col_idx.push(c);
+            values.push(r.gen::<f32>());
+        }
+        row_ptr.push(col_idx.len() as i32);
+    }
+    Csr {
+        rows,
+        cols,
+        row_ptr,
+        col_idx,
+        values,
+    }
+}
+
+/// A directed graph in CSR adjacency form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Offsets into `edges` (`nodes + 1` entries).
+    pub offsets: Vec<i32>,
+    /// Flattened adjacency lists.
+    pub edges: Vec<i32>,
+}
+
+impl Graph {
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// A uniform random graph with average degree `avg_degree`.
+pub fn random_graph(nodes: usize, avg_degree: usize, stream: u64) -> Graph {
+    let mut r = rng_stream(stream);
+    let mut offsets = Vec::with_capacity(nodes + 1);
+    let mut edges = Vec::new();
+    offsets.push(0);
+    for _ in 0..nodes {
+        let d = r.gen_range(1..=avg_degree.max(1) * 2);
+        for _ in 0..d {
+            edges.push(r.gen_range(0..nodes as i32));
+        }
+        offsets.push(edges.len() as i32);
+    }
+    Graph {
+        nodes,
+        offsets,
+        edges,
+    }
+}
+
+/// A bipartite graph U → V in CSR form (used by the graph-projection
+/// kernel, paper §VII-A: recommendation systems, disease association).
+#[derive(Debug, Clone)]
+pub struct Bipartite {
+    /// Vertices on the U side.
+    pub u_nodes: usize,
+    /// Vertices on the V side.
+    pub v_nodes: usize,
+    /// Offsets into `edges` per U vertex.
+    pub offsets: Vec<i32>,
+    /// Flattened V-neighbor lists.
+    pub edges: Vec<i32>,
+}
+
+/// A random bipartite graph with average U-degree `avg_degree`.
+pub fn random_bipartite(u_nodes: usize, v_nodes: usize, avg_degree: usize, stream: u64) -> Bipartite {
+    let mut r = rng_stream(stream);
+    let mut offsets = Vec::with_capacity(u_nodes + 1);
+    let mut edges = Vec::new();
+    offsets.push(0);
+    for _ in 0..u_nodes {
+        let d = r.gen_range(1..=avg_degree.max(1) * 2);
+        for _ in 0..d {
+            edges.push(r.gen_range(0..v_nodes as i32));
+        }
+        offsets.push(edges.len() as i32);
+    }
+    Bipartite {
+        u_nodes,
+        v_nodes,
+        offsets,
+        edges,
+    }
+}
+
+/// Random 3-D points in the unit cube, as three coordinate arrays.
+pub fn point_cloud(n: usize, stream: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut r = rng_stream(stream);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    let mut zs = Vec::with_capacity(n);
+    for _ in 0..n {
+        xs.push(r.gen::<f32>());
+        ys.push(r.gen::<f32>());
+        zs.push(r.gen::<f32>());
+    }
+    (xs, ys, zs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(f32_vec(16, 1), f32_vec(16, 1));
+        assert_ne!(f32_vec(16, 1), f32_vec(16, 2));
+        let a = random_csr(10, 10, 3, 7);
+        let b = random_csr(10, 10, 3, 7);
+        assert_eq!(a.col_idx, b.col_idx);
+    }
+
+    #[test]
+    fn csr_is_well_formed() {
+        let m = random_csr(50, 40, 4, 3);
+        assert_eq!(m.row_ptr.len(), 51);
+        assert_eq!(*m.row_ptr.last().unwrap() as usize, m.nnz());
+        for w in m.row_ptr.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(m.col_idx.iter().all(|&c| (c as usize) < m.cols));
+    }
+
+    #[test]
+    fn graph_is_well_formed() {
+        let g = random_graph(30, 5, 11);
+        assert_eq!(g.offsets.len(), 31);
+        assert_eq!(*g.offsets.last().unwrap() as usize, g.edge_count());
+        assert!(g.edges.iter().all(|&e| (e as usize) < g.nodes));
+    }
+
+    #[test]
+    fn bipartite_edges_target_v() {
+        let b = random_bipartite(20, 15, 3, 5);
+        assert!(b.edges.iter().all(|&e| (e as usize) < b.v_nodes));
+        assert_eq!(b.offsets.len(), 21);
+    }
+
+    #[test]
+    fn bounded_ints_respect_bound() {
+        let v = i32_vec(100, 7, 9);
+        assert!(v.iter().all(|&x| (0..7).contains(&x)));
+    }
+}

@@ -1,0 +1,308 @@
+//! Banked DRAM timing model — the DRAMSim2 substitute (paper §V-B).
+//!
+//! The paper offers DRAMSim2 as a cycle-accurate alternative to SimpleDRAM
+//! ("albeit this model executes slower [and] has a larger memory
+//! footprint"). This model reproduces DRAMSim2's *role*: channel/rank/bank
+//! structure, open-row policy with row-buffer hit/miss/conflict timing, a
+//! bounded per-bank queue, and FR-FCFS-style scheduling (row hits first,
+//! then oldest).
+
+use std::collections::VecDeque;
+
+use crate::req::ReqId;
+
+/// Timing and geometry of the banked DRAM model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankedDramConfig {
+    /// Independent channels (each with its own data bus).
+    pub channels: u32,
+    /// Banks per channel.
+    pub banks_per_channel: u32,
+    /// Row size in bytes (determines row-buffer locality).
+    pub row_bytes: u64,
+    /// Column access latency (row-buffer hit).
+    pub t_cas: u64,
+    /// Row activation latency.
+    pub t_rcd: u64,
+    /// Precharge latency (row conflict adds `t_rp + t_rcd`).
+    pub t_rp: u64,
+    /// Cycles the channel data bus is busy per line transfer.
+    pub burst_cycles: u64,
+    /// Per-bank request queue depth.
+    pub queue_depth: usize,
+}
+
+impl Default for BankedDramConfig {
+    fn default() -> Self {
+        BankedDramConfig {
+            channels: 2,
+            banks_per_channel: 8,
+            row_bytes: 2048,
+            t_cas: 24,
+            t_rcd: 24,
+            t_rp: 24,
+            burst_cycles: 4,
+            queue_depth: 32,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BankReq {
+    id: ReqId,
+    row: u64,
+    arrival: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+    queue: VecDeque<BankReq>,
+}
+
+/// The banked DRAM model.
+#[derive(Debug, Clone)]
+pub struct BankedDram {
+    config: BankedDramConfig,
+    banks: Vec<Bank>,
+    channel_bus_free: Vec<u64>,
+    in_flight: Vec<(u64, ReqId)>,
+    row_hits: u64,
+    row_misses: u64,
+    row_conflicts: u64,
+    total_requests: u64,
+}
+
+impl BankedDram {
+    /// Creates the model.
+    pub fn new(config: BankedDramConfig) -> Self {
+        let nbanks = (config.channels * config.banks_per_channel) as usize;
+        BankedDram {
+            config,
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    busy_until: 0,
+                    queue: VecDeque::new(),
+                };
+                nbanks
+            ],
+            channel_bus_free: vec![0; config.channels as usize],
+            in_flight: Vec::new(),
+            row_hits: 0,
+            row_misses: 0,
+            row_conflicts: 0,
+            total_requests: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BankedDramConfig {
+        &self.config
+    }
+
+    fn map(&self, addr: u64) -> (usize, usize, u64) {
+        // Line-interleave across channels, then banks; row = higher bits.
+        let line = addr / 64;
+        let channel = (line % self.config.channels as u64) as usize;
+        let bank_local =
+            ((line / self.config.channels as u64) % self.config.banks_per_channel as u64) as usize;
+        let row = addr / self.config.row_bytes
+            / (self.config.channels * self.config.banks_per_channel) as u64;
+        (channel, channel * self.config.banks_per_channel as usize + bank_local, row)
+    }
+
+    /// Attempts to enqueue a line request; returns `false` when the target
+    /// bank queue is full (caller retries next cycle).
+    pub fn try_enqueue(&mut self, id: ReqId, addr: u64, now: u64) -> bool {
+        let (_, bank, row) = self.map(addr);
+        let b = &mut self.banks[bank];
+        if b.queue.len() >= self.config.queue_depth {
+            return false;
+        }
+        b.queue.push_back(BankReq {
+            id,
+            row,
+            arrival: now,
+        });
+        self.total_requests += 1;
+        true
+    }
+
+    /// Advances to cycle `now`, returning completed requests.
+    pub fn step(&mut self, now: u64) -> Vec<ReqId> {
+        // Retire finished transfers.
+        let mut done = Vec::new();
+        self.in_flight.retain(|&(ready, id)| {
+            if ready <= now {
+                done.push(id);
+                false
+            } else {
+                true
+            }
+        });
+
+        // Schedule one request per free bank (FR-FCFS: prefer open-row hits).
+        for bank_idx in 0..self.banks.len() {
+            let channel = bank_idx / self.config.banks_per_channel as usize;
+            let bank = &mut self.banks[bank_idx];
+            if bank.busy_until > now || bank.queue.is_empty() {
+                continue;
+            }
+            let pick = bank
+                .queue
+                .iter()
+                .position(|r| Some(r.row) == bank.open_row)
+                .unwrap_or(0);
+            let req = bank.queue.remove(pick).expect("non-empty queue");
+            let access_lat = match bank.open_row {
+                Some(r) if r == req.row => {
+                    self.row_hits += 1;
+                    self.config.t_cas
+                }
+                Some(_) => {
+                    self.row_conflicts += 1;
+                    self.config.t_rp + self.config.t_rcd + self.config.t_cas
+                }
+                None => {
+                    self.row_misses += 1;
+                    self.config.t_rcd + self.config.t_cas
+                }
+            };
+            bank.open_row = Some(req.row);
+            let data_start = (now + access_lat).max(self.channel_bus_free[channel]);
+            let ready = data_start + self.config.burst_cycles;
+            self.channel_bus_free[channel] = ready;
+            bank.busy_until = now + access_lat;
+            let _ = req.arrival;
+            self.in_flight.push((ready, req.id));
+        }
+        done
+    }
+
+    /// Whether the model has no outstanding work.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty() && self.banks.iter().all(|b| b.queue.is_empty())
+    }
+
+    /// Row-buffer hit count.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Row misses (bank was idle/precharged).
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
+    /// Row conflicts (different row was open).
+    pub fn row_conflicts(&self) -> u64 {
+        self.row_conflicts
+    }
+
+    /// Requests accepted.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_done(d: &mut BankedDram, start: u64) -> Vec<(u64, ReqId)> {
+        let mut out = Vec::new();
+        let mut t = start;
+        while !d.is_idle() {
+            for id in d.step(t) {
+                out.push((t, id));
+            }
+            t += 1;
+            assert!(t < start + 1_000_000, "banked dram did not drain");
+        }
+        out
+    }
+
+    #[test]
+    fn sequential_addresses_exploit_row_buffer() {
+        let mut d = BankedDram::new(BankedDramConfig {
+            channels: 1,
+            banks_per_channel: 1,
+            ..BankedDramConfig::default()
+        });
+        for i in 0..8u64 {
+            assert!(d.try_enqueue(ReqId(i), i * 64, 0));
+        }
+        run_until_done(&mut d, 0);
+        assert_eq!(d.row_misses(), 1); // first access opens the row
+        assert_eq!(d.row_hits(), 7);
+        assert_eq!(d.row_conflicts(), 0);
+    }
+
+    #[test]
+    fn alternating_rows_conflict() {
+        let cfg = BankedDramConfig {
+            channels: 1,
+            banks_per_channel: 1,
+            row_bytes: 1024,
+            ..BankedDramConfig::default()
+        };
+        let mut d = BankedDram::new(cfg);
+        // Two different rows in the same bank, alternating. FR-FCFS will
+        // reorder hits first but with strict alternation conflicts remain.
+        assert!(d.try_enqueue(ReqId(0), 0, 0));
+        let done0 = run_until_done(&mut d, 0);
+        assert!(d.try_enqueue(ReqId(1), 4096, done0[0].0));
+        let done1 = run_until_done(&mut d, done0[0].0);
+        assert!(done1[0].0 > done0[0].0);
+        assert_eq!(d.row_conflicts(), 1);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_conflict() {
+        let cfg = BankedDramConfig {
+            channels: 1,
+            banks_per_channel: 1,
+            ..BankedDramConfig::default()
+        };
+        // Hit timing.
+        let mut d1 = BankedDram::new(cfg);
+        d1.try_enqueue(ReqId(0), 0, 0);
+        let t0 = run_until_done(&mut d1, 0)[0].0;
+        d1.try_enqueue(ReqId(1), 64, t0);
+        let hit_done = run_until_done(&mut d1, t0)[0].0 - t0;
+        // Conflict timing.
+        let mut d2 = BankedDram::new(cfg);
+        d2.try_enqueue(ReqId(0), 0, 0);
+        let t0 = run_until_done(&mut d2, 0)[0].0;
+        d2.try_enqueue(ReqId(1), 1 << 20, t0);
+        let conflict_done = run_until_done(&mut d2, t0)[0].0 - t0;
+        assert!(hit_done < conflict_done);
+    }
+
+    #[test]
+    fn bank_queue_backpressure() {
+        let cfg = BankedDramConfig {
+            channels: 1,
+            banks_per_channel: 1,
+            queue_depth: 2,
+            ..BankedDramConfig::default()
+        };
+        let mut d = BankedDram::new(cfg);
+        assert!(d.try_enqueue(ReqId(0), 0, 0));
+        assert!(d.try_enqueue(ReqId(1), 64, 0));
+        assert!(!d.try_enqueue(ReqId(2), 128, 0));
+    }
+
+    #[test]
+    fn channels_interleave_lines() {
+        let mut d = BankedDram::new(BankedDramConfig::default());
+        for i in 0..16u64 {
+            assert!(d.try_enqueue(ReqId(i), i * 64, 0));
+        }
+        let done = run_until_done(&mut d, 0);
+        assert_eq!(done.len(), 16);
+        assert_eq!(d.total_requests(), 16);
+    }
+}

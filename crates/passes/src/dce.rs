@@ -1,0 +1,169 @@
+//! Dead-code elimination over the MosaicSim IR.
+//!
+//! Used after DAE slicing (paper §VII-A): the execute slice's address
+//! computations and the access slice's value computations become dead and
+//! are removed, leaving each slice with only the work the corresponding
+//! core actually performs.
+
+use std::collections::HashSet;
+
+use mosaic_ir::{FuncId, InstId, Module, Operand};
+
+/// Removes instructions whose results are unused and that have no side
+/// effects. Returns the number of instructions removed.
+///
+/// Liveness roots: stores, atomics, `send`/`recv` (queue effects must be
+/// preserved so paired slices stay in lock-step), accelerator calls, and
+/// terminators. Everything reachable through operands from a root is live.
+pub fn eliminate_dead_code(module: &mut Module, func: FuncId) -> usize {
+    let f = module.function(func);
+    let mut live: HashSet<InstId> = HashSet::new();
+    let mut work: Vec<InstId> = Vec::new();
+
+    for block in f.blocks() {
+        for &iid in block.insts() {
+            let inst = f.inst(iid);
+            if inst.op().has_side_effect() {
+                live.insert(iid);
+                work.push(iid);
+            }
+        }
+    }
+    while let Some(iid) = work.pop() {
+        f.inst(iid).op().for_each_operand(|o| {
+            if let Operand::Inst(d) = o {
+                if live.insert(d) {
+                    work.push(d);
+                }
+            }
+        });
+    }
+
+    // Phis referenced only by dead code die too, but a live phi keeps its
+    // incoming defs live — handled by the closure above since phi operands
+    // are visited by `for_each_operand`.
+    let dead: Vec<InstId> = f
+        .blocks()
+        .flat_map(|b| b.insts().iter().copied())
+        .filter(|iid| !live.contains(iid))
+        .collect();
+    let removed = dead.len();
+    let f = module.function_mut(func);
+    for iid in dead {
+        f.remove_from_block(iid);
+    }
+    removed
+}
+
+/// Returns whether `func` still references `inst` from any live position
+/// (used by tests and pass validation).
+pub fn is_referenced(module: &Module, func: FuncId, inst: InstId) -> bool {
+    let f = module.function(func);
+    let mut found = false;
+    for block in f.blocks() {
+        for &iid in block.insts() {
+            f.inst(iid).op().for_each_operand(|o| {
+                if o == Operand::Inst(inst) {
+                    found = true;
+                }
+            });
+        }
+    }
+    found
+}
+
+/// Counts the executable (in-block) instructions of a function.
+pub fn live_inst_count(module: &Module, func: FuncId) -> usize {
+    module
+        .function(func)
+        .blocks()
+        .map(|b| b.insts().len())
+        .sum()
+}
+
+/// Convenience: whether the instruction is still scheduled in a block.
+pub fn is_scheduled(module: &Module, func: FuncId, inst: InstId) -> bool {
+    module
+        .function(func)
+        .blocks()
+        .any(|b| b.insts().contains(&inst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_ir::{verify_module, BinOp, Constant, FunctionBuilder, Type};
+
+    #[test]
+    fn removes_unused_arithmetic_keeps_stores() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("p".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let p = b.param(0);
+        let dead = b.bin(BinOp::Add, Constant::i64(1).into(), Constant::i64(2).into());
+        let live = b.bin(BinOp::Add, Constant::i64(3).into(), Constant::i64(4).into());
+        let addr = b.gep(p, live, 8);
+        b.store(addr, live);
+        b.ret(None);
+        let removed = eliminate_dead_code(&mut m, f);
+        assert_eq!(removed, 1);
+        assert!(!is_scheduled(&m, f, dead.as_inst().unwrap()));
+        assert!(is_scheduled(&m, f, live.as_inst().unwrap()));
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn transitively_dead_chains_removed() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("x".into(), Type::I64)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let x = b.param(0);
+        let a = b.bin(BinOp::Add, x, Constant::i64(1).into());
+        let c = b.bin(BinOp::Mul, a, a);
+        let d = b.bin(BinOp::Sub, c, x);
+        let _ = d;
+        b.ret(None);
+        let removed = eliminate_dead_code(&mut m, f);
+        assert_eq!(removed, 3);
+        assert_eq!(live_inst_count(&m, f), 1); // just ret
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn queue_ops_are_roots() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let v = b.recv(0, Type::I64);
+        // v's value is unused, but recv must stay (it drains the queue).
+        let _ = v;
+        b.send(1, Constant::i64(5).into());
+        b.ret(None);
+        let removed = eliminate_dead_code(&mut m, f);
+        assert_eq!(removed, 0);
+        assert_eq!(live_inst_count(&m, f), 3);
+    }
+
+    #[test]
+    fn live_value_feeding_branch_kept() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("x".into(), Type::I64)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        let t = b.create_block("t");
+        b.switch_to(e);
+        let x = b.param(0);
+        let c = b.icmp(mosaic_ir::IntPredicate::Sgt, x, Constant::i64(0).into());
+        b.cond_br(c, t, t);
+        b.switch_to(t);
+        b.ret(None);
+        assert_eq!(eliminate_dead_code(&mut m, f), 0);
+        assert!(is_scheduled(&m, f, c.as_inst().unwrap()));
+    }
+}

@@ -1,0 +1,238 @@
+//! Inter-tile message channels (paper §II-C).
+//!
+//! "Two tiles can additionally communicate with each other through generic
+//! messages ... realized through a simple message passing API (i.e. send,
+//! recv). The Interleaver buffers all send instructions issued. When the
+//! receiving tile issues a recv instruction, the Interleaver matches it
+//! with the buffered message."
+//!
+//! A [`Channel`] is a bounded FIFO with a delivery latency; the DAE case
+//! study (paper §VII-A, Table II) uses 512-entry, 1-cycle-latency buffers.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelConfig {
+    /// Buffer capacity in messages (Table II: 512).
+    pub capacity: usize,
+    /// Cycles between a send issuing and the message becoming receivable.
+    pub latency: u64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            capacity: 512,
+            latency: 1,
+        }
+    }
+}
+
+/// A bounded, latency-tagged FIFO between two tiles.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    config: ChannelConfig,
+    queue: VecDeque<u64>,
+    sends: u64,
+    recvs: u64,
+    full_stalls: u64,
+    empty_stalls: u64,
+    max_occupancy: usize,
+}
+
+impl Channel {
+    /// Creates a channel.
+    pub fn new(config: ChannelConfig) -> Self {
+        Channel {
+            config,
+            queue: VecDeque::new(),
+            sends: 0,
+            recvs: 0,
+            full_stalls: 0,
+            empty_stalls: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    /// Whether a send would currently succeed (no side effects).
+    pub fn has_space(&self) -> bool {
+        self.queue.len() < self.config.capacity
+    }
+
+    /// Whether a receive at `now` would currently succeed (no side
+    /// effects).
+    pub fn can_recv(&self, now: u64) -> bool {
+        matches!(self.queue.front(), Some(&ready) if ready <= now)
+    }
+
+    /// Attempts to enqueue a message at `now`; `false` when full
+    /// (the sender stalls).
+    pub fn try_send(&mut self, now: u64) -> bool {
+        if self.queue.len() >= self.config.capacity {
+            self.full_stalls += 1;
+            return false;
+        }
+        self.queue.push_back(now + self.config.latency);
+        self.sends += 1;
+        self.max_occupancy = self.max_occupancy.max(self.queue.len());
+        true
+    }
+
+    /// Attempts to dequeue a message at `now`; `false` when empty or the
+    /// head has not yet matured (the receiver stalls).
+    pub fn try_recv(&mut self, now: u64) -> bool {
+        match self.queue.front() {
+            Some(&ready) if ready <= now => {
+                self.queue.pop_front();
+                self.recvs += 1;
+                true
+            }
+            _ => {
+                self.empty_stalls += 1;
+                false
+            }
+        }
+    }
+
+    /// Messages currently buffered.
+    pub fn occupancy(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the channel is drained.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total successful sends.
+    pub fn sends(&self) -> u64 {
+        self.sends
+    }
+
+    /// Total successful receives.
+    pub fn recvs(&self) -> u64 {
+        self.recvs
+    }
+
+    /// Send attempts rejected because the buffer was full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Receive attempts rejected because no mature message was available.
+    pub fn empty_stalls(&self) -> u64 {
+        self.empty_stalls
+    }
+
+    /// High-water mark of buffered messages.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+}
+
+/// All channels of a system, keyed by the queue ids appearing in
+/// `send`/`recv` instructions.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelSet {
+    channels: HashMap<u32, Channel>,
+    default_config: ChannelConfig,
+}
+
+impl ChannelSet {
+    /// A channel set that lazily creates channels with `default_config`.
+    pub fn new(default_config: ChannelConfig) -> Self {
+        ChannelSet {
+            channels: HashMap::new(),
+            default_config,
+        }
+    }
+
+    /// Pre-creates a channel with a specific configuration.
+    pub fn configure(&mut self, queue: u32, config: ChannelConfig) {
+        self.channels.insert(queue, Channel::new(config));
+    }
+
+    /// The channel for `queue`, created on demand.
+    pub fn channel_mut(&mut self, queue: u32) -> &mut Channel {
+        let cfg = self.default_config;
+        self.channels.entry(queue).or_insert_with(|| Channel::new(cfg))
+    }
+
+    /// Read-only channel lookup.
+    pub fn channel(&self, queue: u32) -> Option<&Channel> {
+        self.channels.get(&queue)
+    }
+
+    /// Whether every channel is drained.
+    pub fn all_empty(&self) -> bool {
+        self.channels.values().all(Channel::is_empty)
+    }
+
+    /// Iterates `(queue, channel)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Channel)> {
+        self.channels.iter().map(|(&q, c)| (q, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_then_recv_after_latency() {
+        let mut c = Channel::new(ChannelConfig {
+            capacity: 4,
+            latency: 3,
+        });
+        assert!(c.try_send(10));
+        assert!(!c.try_recv(12), "message not mature until cycle 13");
+        assert!(c.try_recv(13));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let mut c = Channel::new(ChannelConfig {
+            capacity: 2,
+            latency: 1,
+        });
+        assert!(c.try_send(0));
+        assert!(c.try_send(0));
+        assert!(!c.try_send(0));
+        assert_eq!(c.full_stalls(), 1);
+        assert!(c.try_recv(5));
+        assert!(c.try_send(5));
+        assert_eq!(c.max_occupancy(), 2);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut c = Channel::new(ChannelConfig {
+            capacity: 8,
+            latency: 1,
+        });
+        c.try_send(0);
+        c.try_send(10);
+        // Head matured at 1, second at 11.
+        assert!(c.try_recv(1));
+        assert!(!c.try_recv(5), "second message matures at 11");
+        assert!(c.try_recv(11));
+    }
+
+    #[test]
+    fn channel_set_lazily_creates() {
+        let mut s = ChannelSet::new(ChannelConfig::default());
+        assert!(s.channel(3).is_none());
+        assert!(s.channel_mut(3).try_send(0));
+        assert_eq!(s.channel(3).unwrap().occupancy(), 1);
+        assert!(!s.all_empty());
+        assert!(s.channel_mut(3).try_recv(100));
+        assert!(s.all_empty());
+    }
+}

@@ -1,0 +1,937 @@
+//! The graph-based core tile model (paper §II-A, §III).
+//!
+//! A [`CoreTile`] replays one tile's kernel: it launches *Dynamic Basic
+//! Blocks* (DBBs) serially along the recorded control-flow path, resolves
+//! each dynamic instruction's parents (intra-DBB, cross-DBB, and
+//! phi-via-taken-predecessor), and issues instructions cycle by cycle
+//! subject to the microarchitectural resource limits of §III-A:
+//!
+//! * **issue width** — at most W instructions issue per cycle;
+//! * **instruction window (ROB)** — only instructions whose sequence id
+//!   lies within a sliding window (anchored at the oldest incomplete
+//!   instruction) may issue;
+//! * **LSQ via the MAO** — memory ordering rules and capacity (see
+//!   [`crate::Mao`]);
+//! * **functional units** — per-class limits;
+//! * **live-DBB limits** — at most N in-flight DBBs per static block;
+//! * **branch speculation** — next-DBB launch gated by the previous
+//!   terminator under [`BranchMode`](crate::BranchMode);
+//! * **inter-tile queues** — `send`/`recv` stall on full/empty channels;
+//! * **accelerator invocations** — synchronous calls into an
+//!   [`AccelSim`](crate::AccelSim) model (paper §IV-A).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+use mosaic_ddg::{InstClass, MemKind, StaticDdg};
+use mosaic_ir::{BlockId, FuncId, InstId, Module, Opcode};
+use mosaic_mem::{AccessKind, MemReq, ReqId};
+use mosaic_trace::TileTrace;
+
+use crate::config::{fused_insts, BranchMode, CoreConfig};
+use crate::mao::Mao;
+use crate::{Tile, TileCtx, TileStats};
+
+/// Role of an instruction under the DeSC extensions (paper §VII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DescRole {
+    /// A load whose value feeds straight into a `send`: fire-and-forget;
+    /// hardware pushes the returning data into the channel.
+    TerminalLoad { queue: u32 },
+    /// The `send` paired with a terminal load (absorbed by hardware).
+    SkipSend,
+    /// A `recv` whose value feeds straight into a store (store value
+    /// buffer): exempt from the instruction window.
+    StoreRecv,
+    /// A store whose value comes from a `recv`: fire-and-forget via the
+    /// store address/value buffers.
+    DetachedStore,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DynState {
+    Waiting,
+    Ready,
+    Issued,
+}
+
+#[derive(Debug, Clone)]
+struct DynInst {
+    static_id: InstId,
+    dbb: u64,
+    class: InstClass,
+    state: DynState,
+    remaining_parents: u32,
+    children: Vec<u64>,
+    mem: Option<(u64, u8, AccessKind)>,
+    accel_args: Option<Vec<i64>>,
+    is_terminator: bool,
+    fused: bool,
+    desc: Option<DescRole>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaunchGate {
+    /// Next DBB may launch immediately.
+    Free,
+    /// Waiting for the given terminator sequence id to complete; on
+    /// completion the gate opens after `penalty` extra cycles.
+    WaitTerminator { seq: u64, penalty: u64 },
+    /// Open at the given cycle.
+    WaitUntil(u64),
+}
+
+/// A core tile replaying a traced kernel over the shared memory hierarchy.
+pub struct CoreTile {
+    config: CoreConfig,
+    module: Arc<Module>,
+    func: FuncId,
+    ddg: StaticDdg,
+    trace: Arc<TileTrace>,
+    mem_slot: usize,
+    fused: HashSet<InstId>,
+
+    // Trace cursors (owning).
+    path_pos: usize,
+    mem_pos: HashMap<InstId, usize>,
+    accel_pos: HashMap<InstId, usize>,
+
+    // Dynamic state.
+    next_seq: u64,
+    insts: HashMap<u64, DynInst>,
+    latest: Vec<Option<u64>>,
+    ready: BTreeSet<u64>,
+    incomplete: BTreeSet<u64>,
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    mem_inflight: HashMap<ReqId, u64>,
+    mao: Mao,
+    fu_busy: HashMap<InstClass, u32>,
+    live_dbbs: HashMap<BlockId, u32>,
+    dbb_remaining: HashMap<u64, u32>,
+    dbb_block: HashMap<u64, BlockId>,
+    next_dbb: u64,
+    prev_launched_block: Option<BlockId>,
+    predictions: HashMap<BlockId, Option<BlockId>>,
+    bimodal: HashMap<BlockId, u8>,
+    desc_roles: HashMap<InstId, DescRole>,
+    mem_detached: HashMap<ReqId, Option<u32>>,
+    pending_pushes: std::collections::VecDeque<u32>,
+    detached_outstanding: u32,
+    atomic_outstanding: u32,
+    gate: LaunchGate,
+    accel_busy_until: Option<u64>,
+    done: bool,
+    stats: TileStats,
+}
+
+impl std::fmt::Debug for CoreTile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreTile")
+            .field("name", &self.config.name)
+            .field("func", &self.ddg.func_name())
+            .field("done", &self.done)
+            .field("retired", &self.stats.retired)
+            .finish()
+    }
+}
+
+impl CoreTile {
+    /// Creates a core tile that replays `trace` of `func` under `config`,
+    /// using private-cache slot `mem_slot` in the memory hierarchy.
+    pub fn new(
+        config: CoreConfig,
+        module: Arc<Module>,
+        func: FuncId,
+        trace: Arc<TileTrace>,
+        mem_slot: usize,
+    ) -> Self {
+        let f = module.function(func);
+        let ddg = StaticDdg::build(f);
+        let fused = fused_insts(f, &ddg, config.fusion);
+        let latest = vec![None; f.inst_count()];
+        let stats = TileStats::new(&config.name);
+        let mao = Mao::new(config.lsq_size, config.alias_speculation);
+        let predictions = compute_static_predictions(f);
+        let desc_roles = if config.desc_extensions {
+            compute_desc_roles(f)
+        } else {
+            HashMap::new()
+        };
+        CoreTile {
+            config,
+            module,
+            func,
+            ddg,
+            trace,
+            mem_slot,
+            fused,
+            path_pos: 0,
+            mem_pos: HashMap::new(),
+            accel_pos: HashMap::new(),
+            next_seq: 0,
+            insts: HashMap::new(),
+            latest,
+            ready: BTreeSet::new(),
+            incomplete: BTreeSet::new(),
+            completions: BinaryHeap::new(),
+            mem_inflight: HashMap::new(),
+            mao,
+            fu_busy: HashMap::new(),
+            live_dbbs: HashMap::new(),
+            dbb_remaining: HashMap::new(),
+            dbb_block: HashMap::new(),
+            next_dbb: 0,
+            prev_launched_block: None,
+            predictions,
+            bimodal: HashMap::new(),
+            desc_roles,
+            mem_detached: HashMap::new(),
+            pending_pushes: std::collections::VecDeque::new(),
+            detached_outstanding: 0,
+            atomic_outstanding: 0,
+            gate: LaunchGate::Free,
+            accel_busy_until: None,
+            done: false,
+            stats,
+        }
+    }
+
+    /// The tile's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// The static DDG the tile executes.
+    pub fn ddg(&self) -> &StaticDdg {
+        &self.ddg
+    }
+
+    fn peek_path(&self, k: usize) -> Option<BlockId> {
+        self.trace.path().get(self.path_pos + k).copied()
+    }
+
+    fn next_mem_access(&mut self, inst: InstId) -> Option<mosaic_trace::MemAccess> {
+        let pos = self.mem_pos.entry(inst).or_insert(0);
+        let a = self.trace.mem_stream(inst).get(*pos).copied();
+        if a.is_some() {
+            *pos += 1;
+        }
+        a
+    }
+
+    fn next_accel_args(&mut self, inst: InstId) -> Option<Vec<i64>> {
+        let pos = self.accel_pos.entry(inst).or_insert(0);
+        let a = self.trace.accel_stream(inst).get(*pos).map(|i| i.args.clone());
+        if a.is_some() {
+            *pos += 1;
+        }
+        a
+    }
+
+    fn window_head(&self) -> u64 {
+        self.incomplete.first().copied().unwrap_or(self.next_seq)
+    }
+
+    /// The dynamic bimodal prediction for `block`'s terminator: a 2-bit
+    /// saturating counter per static conditional branch (counter >= 2
+    /// predicts the `on_true` edge), trained on actual outcomes as DBBs
+    /// launch. Returns the predicted successor and updates the counter
+    /// toward `actual`.
+    fn bimodal_predict(&mut self, block: BlockId, actual: Option<BlockId>) -> Option<BlockId> {
+        let func = self.module.function(self.func);
+        let term = func.block(block).terminator().expect("verified");
+        match func.inst(term).op() {
+            Opcode::Br { target } => Some(*target),
+            Opcode::CondBr {
+                on_true, on_false, ..
+            } => {
+                let counter = self.bimodal.entry(block).or_insert(2);
+                let predicted = if *counter >= 2 { *on_true } else { *on_false };
+                if let Some(a) = actual {
+                    if a == *on_true {
+                        *counter = (*counter + 1).min(3);
+                    } else if a == *on_false {
+                        *counter = counter.saturating_sub(1);
+                    }
+                }
+                Some(predicted)
+            }
+            _ => None,
+        }
+    }
+
+    /// The static prediction for `block`'s terminator (paper §III-C):
+    /// loop-continuation edges are predicted taken (the classic
+    /// backward-taken heuristic, computed via CFG reachability so it also
+    /// covers non-rotated loops), unconditional branches are always
+    /// correct.
+    fn static_predict(&self, block: BlockId) -> Option<BlockId> {
+        self.predictions.get(&block).copied().flatten()
+    }
+
+    fn gate_open(&self, now: u64) -> bool {
+        match self.gate {
+            LaunchGate::Free => true,
+            LaunchGate::WaitUntil(c) => c <= now,
+            LaunchGate::WaitTerminator { .. } => false,
+        }
+    }
+
+    fn launch_dbbs(&mut self, now: u64) {
+        loop {
+            if self.accel_busy_until.is_some() {
+                break;
+            }
+            let Some(block) = self.peek_path(0) else { break };
+            if !self.gate_open(now) {
+                break;
+            }
+            if let Some(limit) = self.config.live_dbb_limit {
+                if self.live_dbbs.get(&block).copied().unwrap_or(0) >= limit {
+                    break;
+                }
+            }
+            let block_len = self.ddg.block(block).len() as u64;
+            if self.insts.len() as u64 + block_len > self.config.max_inflight {
+                break;
+            }
+            self.launch_one(block, now);
+        }
+    }
+
+    fn launch_one(&mut self, block: BlockId, now: u64) {
+        self.path_pos += 1;
+        let dbb = self.next_dbb;
+        self.next_dbb += 1;
+        let prev_block = self.prev_launched_block;
+        self.prev_launched_block = Some(block);
+        *self.live_dbbs.entry(block).or_insert(0) += 1;
+        self.dbb_block.insert(dbb, block);
+        self.stats.dbbs_launched += 1;
+
+        let block_insts: Vec<InstId> = self.ddg.block(block).insts().to_vec();
+        self.dbb_remaining.insert(dbb, block_insts.len() as u32);
+
+        // Map static -> seq within this DBB for intra-block deps.
+        let mut local: HashMap<InstId, u64> = HashMap::with_capacity(block_insts.len());
+        let mut launched: Vec<u64> = Vec::with_capacity(block_insts.len());
+
+        for sid in block_insts {
+            let node = self.ddg.node(sid).clone();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            local.insert(sid, seq);
+
+            let mut parents: Vec<u64> = Vec::new();
+            if node.class() == InstClass::Phi {
+                let prev = prev_block.expect("phi block must have a predecessor in the trace");
+                if let Some((_, Some(def))) =
+                    node.phi_incoming().iter().find(|(b, _)| *b == prev)
+                {
+                    if let Some(pseq) = self.latest[def.index()] {
+                        if self.insts.contains_key(&pseq) {
+                            parents.push(pseq);
+                        }
+                    }
+                }
+            } else {
+                for &def in node.intra_parents() {
+                    if let Some(&pseq) = local.get(&def) {
+                        parents.push(pseq);
+                    } else if let Some(pseq) = self.latest[def.index()] {
+                        // Defined in the same static block but an earlier
+                        // DBB instance (possible after slicing transforms).
+                        parents.push(pseq);
+                    }
+                }
+                for &def in node.cross_parents() {
+                    if let Some(pseq) = self.latest[def.index()] {
+                        parents.push(pseq);
+                    }
+                }
+            }
+            parents.sort_unstable();
+            parents.dedup();
+            // Parents that already completed (e.g. zero-cost phis retired
+            // during this very launch) impose no dependency.
+            parents.retain(|p| self.insts.contains_key(p));
+
+            let mem = node.mem_kind().map(|k| {
+                let access = self
+                    .next_mem_access(sid)
+                    .unwrap_or_else(|| panic!("trace underrun for memory inst {sid}"));
+                let kind = match k {
+                    MemKind::Load => AccessKind::Read,
+                    MemKind::Store => AccessKind::Write,
+                    MemKind::Atomic(_) => AccessKind::Atomic,
+                };
+                (access.addr, access.size, kind)
+            });
+            if let Some((addr, _, kind)) = mem {
+                // DeSC-detached memory ops live in the terminal-load /
+                // store buffers, outside the MAO (their ordering is
+                // handled by the DeSC hardware structures).
+                let detached = matches!(
+                    self.desc_roles.get(&sid),
+                    Some(DescRole::TerminalLoad { .. } | DescRole::DetachedStore)
+                );
+                if !detached {
+                    self.mao.insert(seq, addr, kind != AccessKind::Read);
+                }
+            }
+            let accel_args = if node.class() == InstClass::Accel {
+                Some(
+                    self.next_accel_args(sid)
+                        .unwrap_or_else(|| panic!("trace underrun for accel inst {sid}")),
+                )
+            } else {
+                None
+            };
+
+            let remaining = parents.len() as u32;
+            let desc = self.desc_roles.get(&sid).copied();
+            let dyninst = DynInst {
+                static_id: sid,
+                dbb,
+                class: node.class(),
+                state: DynState::Waiting,
+                remaining_parents: remaining,
+                children: Vec::new(),
+                mem,
+                accel_args,
+                is_terminator: node.is_terminator(),
+                fused: self.fused.contains(&sid) || desc == Some(DescRole::SkipSend),
+                desc,
+            };
+            for &p in &parents {
+                self.insts
+                    .get_mut(&p)
+                    .expect("parent in flight")
+                    .children
+                    .push(seq);
+            }
+            let window_exempt = matches!(
+                dyninst.desc,
+                Some(
+                    DescRole::TerminalLoad { .. }
+                        | DescRole::StoreRecv
+                        | DescRole::DetachedStore
+                )
+            );
+            self.insts.insert(seq, dyninst);
+            if !window_exempt {
+                self.incomplete.insert(seq);
+            }
+            self.latest[sid.index()] = Some(seq);
+            launched.push(seq);
+
+            if remaining == 0 {
+                self.make_ready(seq, now);
+            }
+        }
+
+        // Configure the launch gate for the *next* DBB.
+        let term_node = self.ddg.block(block).terminator();
+        let term_seq = *local.get(&term_node).expect("terminator launched");
+        self.gate = match self.config.branch {
+            BranchMode::Perfect => LaunchGate::Free,
+            BranchMode::None => LaunchGate::WaitTerminator {
+                seq: term_seq,
+                penalty: 0,
+            },
+            BranchMode::Static | BranchMode::Bimodal => {
+                let actual = self.peek_path(0);
+                let predicted = if self.config.branch == BranchMode::Bimodal {
+                    self.bimodal_predict(block, actual)
+                } else {
+                    self.static_predict(block)
+                };
+                // A `ret` terminator ends the kernel: nothing to predict.
+                let correct = predicted == actual || (predicted.is_none() && actual.is_none());
+                if correct {
+                    LaunchGate::Free
+                } else {
+                    self.stats.mispredicts += 1;
+                    LaunchGate::WaitTerminator {
+                        seq: term_seq,
+                        penalty: self.config.mispredict_penalty,
+                    }
+                }
+            }
+        };
+    }
+
+    fn make_ready(&mut self, seq: u64, now: u64) {
+        let (class, fused, is_mem) = {
+            let di = self.insts.get_mut(&seq).expect("in flight");
+            di.state = DynState::Ready;
+            (di.class, di.fused, di.mem.is_some())
+        };
+        if is_mem {
+            self.mao.resolve(seq);
+        }
+        if class == InstClass::Phi || fused {
+            // Zero-cost bookkeeping nodes complete instantly.
+            self.stats.issued += 1;
+            self.complete_inst(seq, now);
+        } else {
+            self.ready.insert(seq);
+        }
+    }
+
+    fn complete_inst(&mut self, seq: u64, now: u64) {
+        let Some(di) = self.insts.remove(&seq) else {
+            return;
+        };
+        self.incomplete.remove(&seq);
+        self.ready.remove(&seq);
+        self.stats.retired += 1;
+        if di.mem.is_some() {
+            self.mao.complete(seq);
+            if di.class == InstClass::Atomic && matches!(di.state, DynState::Issued) {
+                self.atomic_outstanding = self.atomic_outstanding.saturating_sub(1);
+            }
+        }
+        if matches!(di.state, DynState::Issued) {
+            if let Some(b) = self.fu_busy.get_mut(&di.class) {
+                *b = b.saturating_sub(1);
+            }
+        }
+        // Terminator completion may open the launch gate (paper §II-A
+        // rule 3).
+        if di.is_terminator {
+            if let LaunchGate::WaitTerminator { seq: s, penalty } = self.gate {
+                if s == seq {
+                    self.gate = if penalty == 0 {
+                        LaunchGate::Free
+                    } else {
+                        LaunchGate::WaitUntil(now + penalty)
+                    };
+                }
+            }
+        }
+        // Retire DBB bookkeeping.
+        if let Some(rem) = self.dbb_remaining.get_mut(&di.dbb) {
+            *rem -= 1;
+            if *rem == 0 {
+                self.dbb_remaining.remove(&di.dbb);
+                if let Some(block) = self.dbb_block.remove(&di.dbb) {
+                    if let Some(l) = self.live_dbbs.get_mut(&block) {
+                        *l = l.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        // Wake children.
+        for child in di.children {
+            if let Some(ci) = self.insts.get_mut(&child) {
+                ci.remaining_parents -= 1;
+                if ci.remaining_parents == 0 && ci.state == DynState::Waiting {
+                    self.make_ready(child, now);
+                }
+            }
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut TileCtx<'_>) {
+        let now = ctx.now;
+        let mut width_left = self.config.issue_width;
+        let window_limit = self.window_head() + self.config.window_size;
+        let candidates: Vec<u64> = self.ready.iter().copied().collect();
+        for seq in candidates {
+            if width_left == 0 {
+                break;
+            }
+            let (class, mem, accel_args, desc) = {
+                let di = self.insts.get(&seq).expect("ready implies in flight");
+                (di.class, di.mem, di.accel_args.clone(), di.desc)
+            };
+            let window_exempt = matches!(
+                desc,
+                Some(
+                    DescRole::TerminalLoad { .. }
+                        | DescRole::StoreRecv
+                        | DescRole::DetachedStore
+                )
+            );
+            if seq >= window_limit && !window_exempt {
+                self.stats.window_stalls += 1;
+                continue; // DeSC-detached ops later in the set may still issue
+            }
+            // Functional unit availability.
+            let fu_limit = self.config.fu.limit(class);
+            if fu_limit != u32::MAX {
+                let busy = self.fu_busy.get(&class).copied().unwrap_or(0);
+                if busy >= fu_limit {
+                    self.stats.fu_stalls += 1;
+                    continue;
+                }
+            }
+            // Class-specific issue conditions.
+            match class {
+                InstClass::Load | InstClass::Store | InstClass::Atomic => {
+                    // Atomic read-modify-writes serialize per tile, like
+                    // x86 locked operations draining the store buffer —
+                    // the paper's BFS mis-scaling stems from exactly this
+                    // cost (§VI-A).
+                    if class == InstClass::Atomic && self.atomic_outstanding > 0 {
+                        self.stats.mem_stalls += 1;
+                        continue;
+                    }
+                    if matches!(
+                        desc,
+                        Some(DescRole::TerminalLoad { .. } | DescRole::DetachedStore)
+                    ) {
+                        if self.detached_outstanding >= self.config.desc_buffer {
+                            self.stats.mem_stalls += 1;
+                            continue;
+                        }
+                    } else if !self.mao.can_issue(seq) {
+                        self.stats.mem_stalls += 1;
+                        continue;
+                    }
+                }
+                InstClass::Send => {
+                    let node = self.ddg.node(self.insts[&seq].static_id);
+                    let q = node.queue().expect("send has queue") + self.config.queue_offset;
+                    if !ctx.channels.channel_mut(q).has_space() {
+                        self.stats.send_stalls += 1;
+                        continue;
+                    }
+                }
+                InstClass::Recv => {
+                    let node = self.ddg.node(self.insts[&seq].static_id);
+                    let q = node.queue().expect("recv has queue") + self.config.queue_offset;
+                    if !ctx.channels.channel_mut(q).can_recv(now) {
+                        self.stats.recv_stalls += 1;
+                        continue;
+                    }
+                }
+                InstClass::Accel if self.accel_busy_until.is_some() => continue,
+                _ => {}
+            }
+
+            // Issue.
+            self.ready.remove(&seq);
+            let di = self.insts.get_mut(&seq).expect("in flight");
+            di.state = DynState::Issued;
+            self.stats.issued += 1;
+            self.stats.energy_pj += self.config.costs.energy_pj(class);
+            if fu_limit != u32::MAX {
+                *self.fu_busy.entry(class).or_insert(0) += 1;
+            }
+            width_left -= 1;
+
+            match class {
+                InstClass::Load | InstClass::Store | InstClass::Atomic => {
+                    let (addr, size, kind) = mem.expect("mem op has access");
+                    match desc {
+                        Some(DescRole::TerminalLoad { queue }) => {
+                            // Fire and forget: the pipeline retires the load
+                            // now; hardware pushes the data into the channel
+                            // when memory responds.
+                            let id = ctx.mem.request(
+                                MemReq {
+                                    tile: self.mem_slot,
+                                    addr,
+                                    size,
+                                    kind,
+                                },
+                                now,
+                            );
+                            self.mem_detached
+                                .insert(id, Some(queue + self.config.queue_offset));
+                            self.detached_outstanding += 1;
+                            self.complete_inst(seq, now);
+                        }
+                        Some(DescRole::DetachedStore) => {
+                            let id = ctx.mem.request(
+                                MemReq {
+                                    tile: self.mem_slot,
+                                    addr,
+                                    size,
+                                    kind,
+                                },
+                                now,
+                            );
+                            self.mem_detached.insert(id, None);
+                            self.detached_outstanding += 1;
+                            self.complete_inst(seq, now);
+                        }
+                        _ => {
+                            self.mao.mark_issued(seq);
+                            if class == InstClass::Atomic {
+                                self.atomic_outstanding += 1;
+                            }
+                            let id = ctx.mem.request(
+                                MemReq {
+                                    tile: self.mem_slot,
+                                    addr,
+                                    size,
+                                    kind,
+                                },
+                                now,
+                            );
+                            self.mem_inflight.insert(id, seq);
+                        }
+                    }
+                }
+                InstClass::Send => {
+                    let node = self.ddg.node(self.insts[&seq].static_id);
+                    let q = node.queue().expect("queue") + self.config.queue_offset;
+                    let ok = ctx.channels.channel_mut(q).try_send(now);
+                    debug_assert!(ok, "checked above");
+                    self.completions.push(Reverse((now + 1, seq)));
+                }
+                InstClass::Recv => {
+                    let node = self.ddg.node(self.insts[&seq].static_id);
+                    let q = node.queue().expect("queue") + self.config.queue_offset;
+                    let ok = ctx.channels.channel_mut(q).try_recv(now);
+                    debug_assert!(ok, "checked above");
+                    self.completions.push(Reverse((now + 1, seq)));
+                }
+                InstClass::Accel => {
+                    let args = accel_args.expect("accel op has args");
+                    let node = self.ddg.node(self.insts[&seq].static_id);
+                    let func = self.module.function(self.func);
+                    let accel_op = match func.inst(node.inst()).op() {
+                        Opcode::AccelCall { accel, .. } => *accel,
+                        _ => unreachable!("Accel class implies AccelCall"),
+                    };
+                    let result = ctx.accel.invoke(accel_op, &args);
+                    self.stats.accel_invocations += 1;
+                    self.stats.accel_cycles += result.cycles;
+                    self.stats.energy_pj += result.energy_pj;
+                    self.accel_busy_until = Some(now + result.cycles);
+                    self.completions.push(Reverse((now + result.cycles, seq)));
+                }
+                _ => {
+                    let lat = self.config.costs.latency(class).max(1);
+                    self.completions.push(Reverse((now + lat, seq)));
+                }
+            }
+        }
+    }
+}
+
+impl Tile for CoreTile {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn clock_divisor(&self) -> u64 {
+        self.config.clock_divisor
+    }
+
+    fn on_mem_completion(&mut self, id: ReqId, now: u64) {
+        if let Some(push) = self.mem_detached.remove(&id) {
+            self.detached_outstanding -= 1;
+            if let Some(queue) = push {
+                self.pending_pushes.push_back(queue);
+            }
+            return;
+        }
+        if let Some(seq) = self.mem_inflight.remove(&id) {
+            self.completions.push(Reverse((now, seq)));
+        }
+    }
+
+    fn step(&mut self, ctx: &mut TileCtx<'_>) {
+        if self.done {
+            return;
+        }
+        let now = ctx.now;
+        self.stats.cycles = self.stats.cycles.max(now);
+
+        // Clear a finished accelerator invocation.
+        if let Some(t) = self.accel_busy_until {
+            if t <= now {
+                self.accel_busy_until = None;
+            }
+        }
+
+        // Hardware channel pushes from returned terminal loads.
+        while let Some(&queue) = self.pending_pushes.front() {
+            if ctx.channels.channel_mut(queue).try_send(now) {
+                self.pending_pushes.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // Retire instructions whose completion time has arrived.
+        while let Some(&Reverse((cycle, seq))) = self.completions.peek() {
+            if cycle > now {
+                break;
+            }
+            self.completions.pop();
+            self.complete_inst(seq, now);
+        }
+
+        self.launch_dbbs(now);
+        self.issue(ctx);
+
+        if self.path_pos >= self.trace.path().len()
+            && self.incomplete.is_empty()
+            && self.accel_busy_until.is_none()
+            && self.detached_outstanding == 0
+            && self.pending_pushes.is_empty()
+            && self.insts.is_empty()
+        {
+            self.done = true;
+            self.stats.done_at = Some(now);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn stats(&self) -> &TileStats {
+        &self.stats
+    }
+}
+
+/// Computes the DeSC roles of a function's instructions: terminal loads
+/// (load → send), their absorbed sends, store-value recvs (recv → store),
+/// and the detached stores they feed (paper §VII-A's DeSC structures).
+#[allow(clippy::collapsible_match)] // per-opcode arms stay scannable
+fn compute_desc_roles(func: &mosaic_ir::Function) -> HashMap<InstId, DescRole> {
+    use mosaic_ir::Operand;
+    // Walk scheduled instructions only: dead-code elimination leaves
+    // removed instructions orphaned in the arena, and orphans must not
+    // count as uses.
+    let scheduled: Vec<InstId> = func
+        .blocks()
+        .flat_map(|b| b.insts().iter().copied())
+        .collect();
+    let mut use_count: HashMap<InstId, u32> = HashMap::new();
+    for &iid in &scheduled {
+        func.inst(iid).op().for_each_operand(|o| {
+            if let Operand::Inst(d) = o {
+                *use_count.entry(d).or_insert(0) += 1;
+            }
+        });
+    }
+    let mut roles = HashMap::new();
+    for &iid in &scheduled {
+        let inst = func.inst(iid);
+        match inst.op() {
+            Opcode::Send { queue, value } => {
+                if let Operand::Inst(def) = value {
+                    let is_load = matches!(func.inst(*def).op(), Opcode::Load { .. });
+                    if is_load && use_count.get(def).copied().unwrap_or(0) == 1 {
+                        roles.insert(*def, DescRole::TerminalLoad { queue: *queue });
+                        roles.insert(inst.id(), DescRole::SkipSend);
+                    }
+                }
+            }
+            Opcode::Store { value, .. } => {
+                if let Operand::Inst(def) = value {
+                    let is_recv = matches!(func.inst(*def).op(), Opcode::Recv { .. });
+                    if is_recv && use_count.get(def).copied().unwrap_or(0) == 1 {
+                        roles.insert(*def, DescRole::StoreRecv);
+                        roles.insert(inst.id(), DescRole::DetachedStore);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    roles
+}
+
+/// Computes per-block static branch predictions: for a conditional
+/// terminator, predict the successor through which control can return to
+/// the block (the loop-continuation edge); if neither or both loop,
+/// fall back to backward-taken / forward-not-taken.
+fn compute_static_predictions(
+    func: &mosaic_ir::Function,
+) -> HashMap<BlockId, Option<BlockId>> {
+    // reaches[s] = set of blocks reachable from s.
+    let nblocks = func.block_count();
+    let succs: Vec<Vec<BlockId>> = (0..nblocks)
+        .map(|i| {
+            let b = func.block(BlockId(i as u32));
+            b.terminator()
+                .map(|t| func.inst(t).op().successors())
+                .unwrap_or_default()
+        })
+        .collect();
+    // BFS distance from `start` back to `target` (None if unreachable).
+    let cycle_distance = |start: BlockId, target: BlockId| -> Option<u32> {
+        let mut dist = vec![None; nblocks];
+        let mut queue = std::collections::VecDeque::new();
+        dist[start.index()] = Some(1u32);
+        queue.push_back(start);
+        if start == target {
+            return Some(1);
+        }
+        while let Some(b) = queue.pop_front() {
+            let d = dist[b.index()].expect("visited");
+            for &s in &succs[b.index()] {
+                if dist[s.index()].is_none() {
+                    dist[s.index()] = Some(d + 1);
+                    if s == target {
+                        return Some(d + 1);
+                    }
+                    queue.push_back(s);
+                }
+            }
+        }
+        dist[target.index()]
+    };
+    let mut out = HashMap::new();
+    for block in func.blocks() {
+        let pred = match block.terminator().map(|t| func.inst(t).op().clone()) {
+            Some(Opcode::Br { target }) => Some(target),
+            Some(Opcode::CondBr {
+                on_true, on_false, ..
+            }) => {
+                // In nested loops both successors can eventually return to
+                // the block (the exit path re-enters through the outer
+                // loop); predict the one with the *shortest* cycle — the
+                // innermost back edge, i.e. the loop-continue direction.
+                let t_cycle = cycle_distance(on_true, block.id());
+                let f_cycle = cycle_distance(on_false, block.id());
+                match (t_cycle, f_cycle) {
+                    (Some(_), None) => Some(on_true),
+                    (None, Some(_)) => Some(on_false),
+                    (Some(t), Some(f)) if t < f => Some(on_true),
+                    (Some(t), Some(f)) if f < t => Some(on_false),
+                    _ => {
+                        if on_true.index() <= block.id().index() {
+                            Some(on_true)
+                        } else {
+                            Some(on_false)
+                        }
+                    }
+                }
+            }
+            _ => None,
+        };
+        out.insert(block.id(), pred);
+    }
+    out
+}
+
+/// A pre-RTL accelerator tile (paper §IV): the same dependence-graph
+/// engine with accelerator-style resource provisioning — a live-DBB limit
+/// standing in for replicated loop circuits, a large window, and
+/// unconstrained functional units.
+pub fn accelerator_tile(
+    unroll: u32,
+    module: Arc<Module>,
+    func: FuncId,
+    trace: Arc<TileTrace>,
+    mem_slot: usize,
+) -> CoreTile {
+    CoreTile::new(
+        crate::CoreConfig::accelerator(unroll),
+        module,
+        func,
+        trace,
+        mem_slot,
+    )
+}

@@ -1,0 +1,704 @@
+//! # mosaic-tile
+//!
+//! Fast abstract tile models (paper §III): the dependence-graph execution
+//! engine that turns a static DDG plus a dynamic trace into cycle counts,
+//! under configurable microarchitectural resource limits.
+//!
+//! * [`CoreTile`] — the graph-based core model: DBB launching, issue
+//!   width, sliding instruction window (ROB), MAO/LSQ, functional-unit
+//!   limits, live-DBB limits, branch and memory-alias speculation.
+//! * [`CoreConfig`] — resource presets including Table II's in-order and
+//!   out-of-order cores, the pre-RTL accelerator provisioning of §IV, and
+//!   the ISA-tuned reference model used as the Fig. 5 accuracy baseline.
+//! * [`Mao`] — the Memory Address Orderer (paper §II-A).
+//! * [`Channel`]/[`ChannelSet`] — the inter-tile message buffers backing
+//!   `send`/`recv` (paper §II-C), used by the DAE case study (§VII-A).
+//! * [`Tile`] — the interface the Interleaver drives each cycle.
+//!
+//! The end-to-end pipeline (build IR → trace → simulate) lives in
+//! `mosaic-core`; see that crate for runnable examples.
+
+#![warn(missing_docs)]
+
+mod channel;
+mod config;
+mod core_tile;
+mod mao;
+
+pub use channel::{Channel, ChannelConfig, ChannelSet};
+pub use config::{fused_insts, BranchMode, CoreConfig, CostTable, FuLimits, FusionConfig};
+pub use core_tile::{accelerator_tile, CoreTile};
+pub use mao::Mao;
+
+use mosaic_ir::AccelOp;
+use mosaic_mem::{MemoryHierarchy, ReqId};
+
+/// Performance estimate returned by an accelerator model when invoked
+/// (paper §IV-A: "the accelerator tile model returns to the Interleaver a
+/// set of performance estimates, e.g. clock cycles, bytes of memory
+/// accessed, and average power consumption").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccelResult {
+    /// Busy cycles of the invocation.
+    pub cycles: u64,
+    /// Energy consumed, in picojoules.
+    pub energy_pj: f64,
+    /// Bytes moved to/from memory.
+    pub bytes: u64,
+}
+
+/// An accelerator performance model callable by tiles (implemented by
+/// `mosaic-accel`; see paper §IV).
+pub trait AccelSim {
+    /// Returns the performance estimate for invoking `accel` with the
+    /// dynamic `args` recorded in the trace.
+    fn invoke(&mut self, accel: AccelOp, args: &[i64]) -> AccelResult;
+}
+
+/// An [`AccelSim`] for systems without accelerators.
+///
+/// # Panics
+///
+/// Panics if an accelerator is actually invoked — composing a kernel that
+/// calls accelerators with a system that has none is a configuration bug.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAccel;
+
+impl AccelSim for NoAccel {
+    fn invoke(&mut self, accel: AccelOp, _args: &[i64]) -> AccelResult {
+        panic!(
+            "kernel invoked {} but the system has no accelerator model",
+            accel.name()
+        );
+    }
+}
+
+/// Everything a tile may touch during one cycle step.
+pub struct TileCtx<'a> {
+    /// Current global cycle.
+    pub now: u64,
+    /// The shared memory hierarchy.
+    pub mem: &'a mut MemoryHierarchy,
+    /// Inter-tile channels.
+    pub channels: &'a mut ChannelSet,
+    /// Accelerator models.
+    pub accel: &'a mut dyn AccelSim,
+}
+
+impl std::fmt::Debug for TileCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TileCtx").field("now", &self.now).finish()
+    }
+}
+
+/// Per-tile statistics accumulated during simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TileStats {
+    /// Tile display name.
+    pub name: String,
+    /// Retired dynamic instructions.
+    pub retired: u64,
+    /// Issued dynamic instructions (= retired at completion of run).
+    pub issued: u64,
+    /// Last cycle this tile was stepped while active.
+    pub cycles: u64,
+    /// Cycle at which the tile finished, if it has.
+    pub done_at: Option<u64>,
+    /// Core-side energy in picojoules (instruction + accelerator energy;
+    /// memory-hierarchy energy is accounted separately).
+    pub energy_pj: f64,
+    /// Dynamic basic blocks launched.
+    pub dbbs_launched: u64,
+    /// Static-prediction misses (paper §III-C).
+    pub mispredicts: u64,
+    /// Issue attempts blocked by the instruction window.
+    pub window_stalls: u64,
+    /// Issue attempts blocked by functional-unit limits.
+    pub fu_stalls: u64,
+    /// Issue attempts blocked by the MAO/LSQ.
+    pub mem_stalls: u64,
+    /// Issue attempts blocked by a full outgoing channel.
+    pub send_stalls: u64,
+    /// Issue attempts blocked by an empty incoming channel.
+    pub recv_stalls: u64,
+    /// Accelerator invocations made.
+    pub accel_invocations: u64,
+    /// Cycles spent inside accelerator invocations.
+    pub accel_cycles: u64,
+}
+
+impl TileStats {
+    /// Fresh statistics for a tile called `name`.
+    pub fn new(name: &str) -> Self {
+        TileStats {
+            name: name.to_string(),
+            ..TileStats::default()
+        }
+    }
+
+    /// Instructions per cycle, using the tile's completion time.
+    pub fn ipc(&self) -> f64 {
+        match self.done_at {
+            Some(c) if c > 0 => self.retired as f64 / c as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A hardware tile the Interleaver advances cycle by cycle (paper §II:
+/// "tiles operate alongside each other, each being called upon by the
+/// Interleaver to take a single-cycle step").
+pub trait Tile {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// Clock divisor relative to the global clock: the Interleaver steps
+    /// this tile only on cycles divisible by the divisor (paper §II:
+    /// "tiles may run at different clock speeds").
+    fn clock_divisor(&self) -> u64;
+
+    /// A memory request issued by this tile completed.
+    fn on_mem_completion(&mut self, id: ReqId, now: u64);
+
+    /// Advances one cycle.
+    fn step(&mut self, ctx: &mut TileCtx<'_>);
+
+    /// Whether the tile has drained all work.
+    fn is_done(&self) -> bool;
+
+    /// Statistics so far.
+    fn stats(&self) -> &TileStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_ir::{
+        run_single, run_tiles, BinOp, Constant, FunctionBuilder, MemImage, Module, RtVal,
+        TileProgram, Type,
+    };
+    use mosaic_mem::{CacheConfig, DramKind, HierarchyConfig, PrefetchConfig, SimpleDramConfig};
+    use mosaic_trace::TraceRecorder;
+    use std::sync::Arc;
+
+    /// Builds a vector-increment kernel and its trace.
+    fn traced_kernel(n: i64) -> (Arc<Module>, mosaic_ir::FuncId, Arc<mosaic_trace::TileTrace>) {
+        let mut m = Module::new("t");
+        let f = m.add_function(
+            "k",
+            vec![("p".into(), Type::Ptr), ("n".into(), Type::I64)],
+            Type::Void,
+        );
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (p, nn) = (b.param(0), b.param(1));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("l", Constant::i64(0).into(), nn, |b, i| {
+            let a = b.gep(p, i, 4);
+            let v = b.load(Type::I32, a);
+            let v2 = b.bin(BinOp::Add, v, Constant::i32(1).into());
+            b.store(a, v2);
+        });
+        b.ret(None);
+        mosaic_ir::verify_module(&m).unwrap();
+        let mut mem = MemImage::new();
+        let buf = mem.alloc_i32(n as u64);
+        let mut rec = TraceRecorder::new(1);
+        run_single(
+            &m,
+            mem,
+            f,
+            vec![RtVal::Int(buf as i64), RtVal::Int(n)],
+            &mut rec,
+        )
+        .unwrap();
+        let trace = rec.finish();
+        (Arc::new(m), f, Arc::new(trace.tile(0).clone()))
+    }
+
+    fn small_mem(tiles: usize) -> MemoryHierarchy {
+        MemoryHierarchy::new(
+            HierarchyConfig {
+                l1: CacheConfig::new("L1", 4 * 1024).with_ways(4).with_latency(1),
+                l2: None,
+                llc: CacheConfig::new("LLC", 64 * 1024).with_ways(8).with_latency(8),
+                mshr_entries: 16,
+                prefetch: PrefetchConfig::disabled(),
+                dram: DramKind::Simple(SimpleDramConfig {
+                    min_latency: 60,
+                    epoch_cycles: 64,
+                    max_per_epoch: 16,
+                }),
+                atomic_penalty: 16,
+                noc: None,
+            },
+            tiles,
+        )
+    }
+
+    /// Runs one tile to completion, returning its completion cycle.
+    fn run_tile(tile: &mut CoreTile, mem: &mut MemoryHierarchy) -> u64 {
+        let mut channels = ChannelSet::new(ChannelConfig::default());
+        let mut accel = NoAccel;
+        let mut now = 0u64;
+        while !tile.is_done() {
+            mem.step(now);
+            for c in mem.drain_completions() {
+                tile.on_mem_completion(c.id, now);
+            }
+            let mut ctx = TileCtx {
+                now,
+                mem,
+                channels: &mut channels,
+                accel: &mut accel,
+            };
+            tile.step(&mut ctx);
+            now += 1;
+            assert!(now < 10_000_000, "tile did not finish");
+        }
+        tile.stats().done_at.expect("done")
+    }
+
+    #[test]
+    fn ooo_core_completes_and_counts_match_trace() {
+        let (m, f, trace) = traced_kernel(64);
+        let expected = trace.retired();
+        let mut mem = small_mem(1);
+        let mut tile = CoreTile::new(CoreConfig::out_of_order(), m, f, trace, 0);
+        let cycles = run_tile(&mut tile, &mut mem);
+        assert!(cycles > 0);
+        assert_eq!(
+            tile.stats().retired,
+            expected,
+            "every traced instruction retires"
+        );
+        assert_eq!(tile.stats().issued, expected);
+    }
+
+    #[test]
+    fn out_of_order_is_faster_than_in_order() {
+        let (m, f, trace) = traced_kernel(128);
+        let mut mem1 = small_mem(1);
+        let mut ooo = CoreTile::new(CoreConfig::out_of_order(), m.clone(), f, trace.clone(), 0);
+        let t_ooo = run_tile(&mut ooo, &mut mem1);
+        let mut mem2 = small_mem(1);
+        let mut ino = CoreTile::new(CoreConfig::in_order(), m, f, trace, 0);
+        let t_ino = run_tile(&mut ino, &mut mem2);
+        assert!(
+            t_ooo * 2 < t_ino,
+            "OoO ({t_ooo}) should be much faster than InO ({t_ino})"
+        );
+    }
+
+    #[test]
+    fn wider_issue_helps() {
+        let (m, f, trace) = traced_kernel(128);
+        let mut narrow = CoreConfig::out_of_order();
+        narrow.issue_width = 1;
+        let mut mem1 = small_mem(1);
+        let mut t1 = CoreTile::new(narrow, m.clone(), f, trace.clone(), 0);
+        let c1 = run_tile(&mut t1, &mut mem1);
+        let mut mem2 = small_mem(1);
+        let mut t4 = CoreTile::new(CoreConfig::out_of_order(), m, f, trace, 0);
+        let c4 = run_tile(&mut t4, &mut mem2);
+        assert!(c4 < c1, "width 4 ({c4}) beats width 1 ({c1})");
+    }
+
+    #[test]
+    fn perfect_branch_mode_beats_no_speculation() {
+        let (m, f, trace) = traced_kernel(128);
+        let mut none = CoreConfig::out_of_order();
+        none.branch = BranchMode::None;
+        let mut mem1 = small_mem(1);
+        let mut t_none = CoreTile::new(none, m.clone(), f, trace.clone(), 0);
+        let c_none = run_tile(&mut t_none, &mut mem1);
+        let mut perfect = CoreConfig::out_of_order();
+        perfect.branch = BranchMode::Perfect;
+        let mut mem2 = small_mem(1);
+        let mut t_perf = CoreTile::new(perfect, m, f, trace, 0);
+        let c_perf = run_tile(&mut t_perf, &mut mem2);
+        assert!(
+            c_perf < c_none,
+            "speculative DBB launch ({c_perf}) beats waiting for terminators ({c_none})"
+        );
+    }
+
+    #[test]
+    fn static_prediction_counts_mispredicts_on_loop_exit() {
+        let (m, f, trace) = traced_kernel(32);
+        let mut mem = small_mem(1);
+        let mut tile = CoreTile::new(CoreConfig::out_of_order(), m, f, trace, 0);
+        run_tile(&mut tile, &mut mem);
+        // The backward branch is predicted taken every iteration; the final
+        // exit mispredicts (plus possibly the entry/cont edges).
+        assert!(tile.stats().mispredicts >= 1);
+        assert!(tile.stats().mispredicts <= 4);
+    }
+
+    #[test]
+    fn live_dbb_limit_throttles() {
+        let (m, f, trace) = traced_kernel(64);
+        let mut unrolled = CoreConfig::accelerator(8);
+        let mut mem1 = small_mem(1);
+        let mut t8 = CoreTile::new(unrolled.clone(), m.clone(), f, trace.clone(), 0);
+        let c8 = run_tile(&mut t8, &mut mem1);
+        unrolled.live_dbb_limit = Some(1);
+        let mut mem2 = small_mem(1);
+        let mut t1 = CoreTile::new(unrolled, m, f, trace, 0);
+        let c1 = run_tile(&mut t1, &mut mem2);
+        assert!(c8 < c1, "8 live DBBs ({c8}) beat 1 ({c1})");
+    }
+
+    #[test]
+    fn fusion_reduces_cycles() {
+        let (m, f, trace) = traced_kernel(128);
+        let mut mem1 = small_mem(1);
+        let mut plain = CoreTile::new(CoreConfig::out_of_order(), m.clone(), f, trace.clone(), 0);
+        let c_plain = run_tile(&mut plain, &mut mem1);
+        let mut fused_cfg = CoreConfig::out_of_order();
+        fused_cfg.fusion = FusionConfig::x86_like();
+        let mut mem2 = small_mem(1);
+        let mut fused = CoreTile::new(fused_cfg, m, f, trace, 0);
+        let c_fused = run_tile(&mut fused, &mut mem2);
+        assert!(c_fused <= c_plain);
+        // Fused geps/cmps still retire.
+        assert_eq!(fused.stats().retired, plain.stats().retired);
+    }
+
+    #[test]
+    fn send_recv_pair_of_tiles_drains() {
+        // Producer sends n values; consumer receives them.
+        let mut m = Module::new("t");
+        let prod = m.add_function("prod", vec![("n".into(), Type::I64)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(prod));
+        let n = b.param(0);
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("l", Constant::i64(0).into(), n, |b, i| {
+            b.send(0, i);
+        });
+        b.ret(None);
+        let cons = m.add_function("cons", vec![("n".into(), Type::I64)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(cons));
+        let n = b.param(0);
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("l", Constant::i64(0).into(), n, |b, _| {
+            b.recv(0, Type::I64);
+        });
+        b.ret(None);
+        mosaic_ir::verify_module(&m).unwrap();
+
+        let progs = vec![
+            TileProgram::single(prod, vec![RtVal::Int(50)]),
+            TileProgram::single(cons, vec![RtVal::Int(50)]),
+        ];
+        let mut rec = TraceRecorder::new(2);
+        run_tiles(&m, MemImage::new(), &progs, &mut rec).unwrap();
+        let trace = rec.finish();
+        let m = Arc::new(m);
+
+        let mut mem = small_mem(2);
+        let mut channels = ChannelSet::new(ChannelConfig {
+            capacity: 8,
+            latency: 1,
+        });
+        let mut accel = NoAccel;
+        let mut t0 = CoreTile::new(
+            CoreConfig::in_order().with_name("producer"),
+            m.clone(),
+            prod,
+            Arc::new(trace.tile(0).clone()),
+            0,
+        );
+        let mut t1 = CoreTile::new(
+            CoreConfig::in_order().with_name("consumer"),
+            m,
+            cons,
+            Arc::new(trace.tile(1).clone()),
+            1,
+        );
+        let mut now = 0u64;
+        while !(t0.is_done() && t1.is_done()) {
+            mem.step(now);
+            for c in mem.drain_completions() {
+                if c.tile == 0 {
+                    t0.on_mem_completion(c.id, now);
+                } else {
+                    t1.on_mem_completion(c.id, now);
+                }
+            }
+            let mut ctx = TileCtx {
+                now,
+                mem: &mut mem,
+                channels: &mut channels,
+                accel: &mut accel,
+            };
+            t0.step(&mut ctx);
+            let mut ctx = TileCtx {
+                now,
+                mem: &mut mem,
+                channels: &mut channels,
+                accel: &mut accel,
+            };
+            t1.step(&mut ctx);
+            now += 1;
+            assert!(now < 1_000_000, "send/recv tiles deadlocked");
+        }
+        assert!(channels.all_empty());
+        let ch = channels.channel(0).expect("used channel");
+        assert_eq!(ch.sends(), 50);
+        assert_eq!(ch.recvs(), 50);
+    }
+
+    #[test]
+    fn accel_invocation_blocks_core() {
+        // A kernel that invokes SGEMM twice.
+        let mut m = Module::new("t");
+        let f = m.add_function(
+            "k",
+            vec![
+                ("a".into(), Type::Ptr),
+                ("b".into(), Type::Ptr),
+                ("c".into(), Type::Ptr),
+            ],
+            Type::Void,
+        );
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let (pa, pb, pc) = (b.param(0), b.param(1), b.param(2));
+        for _ in 0..2 {
+            b.accel_call(
+                mosaic_ir::AccelOp::Sgemm,
+                vec![
+                    pa,
+                    pb,
+                    pc,
+                    Constant::i64(4).into(),
+                    Constant::i64(4).into(),
+                    Constant::i64(4).into(),
+                ],
+            );
+        }
+        b.ret(None);
+        mosaic_ir::verify_module(&m).unwrap();
+        let mut img = MemImage::new();
+        let a = img.alloc_f32(16);
+        let bb = img.alloc_f32(16);
+        let c = img.alloc_f32(16);
+        let mut rec = TraceRecorder::new(1);
+        run_single(
+            &m,
+            img,
+            f,
+            vec![
+                RtVal::Int(a as i64),
+                RtVal::Int(bb as i64),
+                RtVal::Int(c as i64),
+            ],
+            &mut rec,
+        )
+        .unwrap();
+        let trace = rec.finish();
+
+        struct FixedAccel;
+        impl AccelSim for FixedAccel {
+            fn invoke(&mut self, _a: AccelOp, _args: &[i64]) -> AccelResult {
+                AccelResult {
+                    cycles: 500,
+                    energy_pj: 1000.0,
+                    bytes: 64,
+                }
+            }
+        }
+        let mut mem = small_mem(1);
+        let mut channels = ChannelSet::new(ChannelConfig::default());
+        let mut accel = FixedAccel;
+        let mut tile = CoreTile::new(
+            CoreConfig::out_of_order(),
+            Arc::new(m),
+            f,
+            Arc::new(trace.tile(0).clone()),
+            0,
+        );
+        let mut now = 0;
+        while !tile.is_done() {
+            mem.step(now);
+            for c in mem.drain_completions() {
+                tile.on_mem_completion(c.id, now);
+            }
+            let mut ctx = TileCtx {
+                now,
+                mem: &mut mem,
+                channels: &mut channels,
+                accel: &mut accel,
+            };
+            tile.step(&mut ctx);
+            now += 1;
+            assert!(now < 100_000);
+        }
+        let st = tile.stats();
+        assert_eq!(st.accel_invocations, 2);
+        assert_eq!(st.accel_cycles, 1000);
+        // Two serialized 500-cycle invocations dominate the runtime.
+        assert!(st.done_at.unwrap() >= 1000);
+        assert!(st.energy_pj >= 2000.0);
+    }
+
+    #[test]
+    fn stats_ipc_is_positive_for_finished_tiles() {
+        let (m, f, trace) = traced_kernel(32);
+        let mut mem = small_mem(1);
+        let mut tile = CoreTile::new(CoreConfig::out_of_order(), m, f, trace, 0);
+        run_tile(&mut tile, &mut mem);
+        assert!(tile.stats().ipc() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod bimodal_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A kernel with a data-dependent branch taken once every `stride`
+    /// iterations — heavily biased, so a 2-bit counter learns it while
+    /// the CFG-based static predictor cannot know the bias.
+    fn biased_kernel(
+        n: i64,
+        stride: i64,
+    ) -> (Arc<mosaic_ir::Module>, mosaic_ir::FuncId, Arc<mosaic_trace::TileTrace>) {
+        use mosaic_ir::{BinOp, Constant, FunctionBuilder, IntPredicate, MemImage, Module, RtVal, Type};
+        let mut m = Module::new("t");
+        let f = m.add_function(
+            "k",
+            vec![("p".into(), Type::Ptr), ("n".into(), Type::I64)],
+            Type::Void,
+        );
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (p, nn) = (b.param(0), b.param(1));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("l", Constant::i64(0).into(), nn, |b, i| {
+            let rem = b.bin(BinOp::SRem, i, Constant::i64(stride).into());
+            let c = b.icmp(IntPredicate::Eq, rem, Constant::i64(0).into());
+            let rare = b.create_block("rare");
+            let cont = b.create_block("cont");
+            b.cond_br(c, rare, cont);
+            b.switch_to(rare);
+            let a = b.gep(p, i, 4);
+            b.store(a, Constant::i32(1).into());
+            b.br(cont);
+            b.switch_to(cont);
+        });
+        b.ret(None);
+        mosaic_ir::verify_module(&m).unwrap();
+        let mut mem = MemImage::new();
+        let buf = mem.alloc_i32(n as u64);
+        let mut rec = mosaic_trace::TraceRecorder::new(1);
+        mosaic_ir::run_single(
+            &m,
+            mem,
+            f,
+            vec![RtVal::Int(buf as i64), RtVal::Int(n)],
+            &mut rec,
+        )
+        .unwrap();
+        let tr = rec.finish();
+        (Arc::new(m), f, Arc::new(tr.tile(0).clone()))
+    }
+
+    fn run(mode: BranchMode, m: &Arc<mosaic_ir::Module>, f: mosaic_ir::FuncId, tr: &Arc<mosaic_trace::TileTrace>) -> TileStats {
+        let mut cfg = CoreConfig::out_of_order();
+        cfg.branch = mode;
+        let mut mem = mosaic_mem::MemoryHierarchy::new(
+            mosaic_mem::HierarchyConfig::default(),
+            1,
+        );
+        let mut tile = CoreTile::new(cfg, m.clone(), f, tr.clone(), 0);
+        let mut channels = ChannelSet::new(ChannelConfig::default());
+        let mut accel = NoAccel;
+        let mut now = 0;
+        while !tile.is_done() {
+            mem.step(now);
+            for c in mem.drain_completions() {
+                tile.on_mem_completion(c.id, now);
+            }
+            let mut ctx = TileCtx {
+                now,
+                mem: &mut mem,
+                channels: &mut channels,
+                accel: &mut accel,
+            };
+            tile.step(&mut ctx);
+            now += 1;
+            assert!(now < 10_000_000);
+        }
+        tile.stats().clone()
+    }
+
+    #[test]
+    fn bimodal_completes_and_counts_mispredicts() {
+        let (m, f, tr) = biased_kernel(64, 8);
+        let stats = run(BranchMode::Bimodal, &m, f, &tr);
+        assert_eq!(stats.retired, tr.retired());
+        // The rare direction mispredicts; the common one is learned.
+        assert!(stats.mispredicts > 0);
+        assert!(stats.mispredicts < tr.path().len() as u64 / 3);
+    }
+
+    #[test]
+    fn bimodal_beats_static_on_biased_branches_and_loses_to_perfect() {
+        let (m, f, tr) = biased_kernel(256, 8);
+        let none = run(BranchMode::None, &m, f, &tr);
+        let bimodal = run(BranchMode::Bimodal, &m, f, &tr);
+        let perfect = run(BranchMode::Perfect, &m, f, &tr);
+        assert!(
+            bimodal.done_at.unwrap() < none.done_at.unwrap(),
+            "bimodal ({:?}) should beat no speculation ({:?})",
+            bimodal.done_at,
+            none.done_at
+        );
+        assert!(
+            perfect.done_at.unwrap() <= bimodal.done_at.unwrap(),
+            "perfect cannot lose to bimodal"
+        );
+        assert_eq!(perfect.mispredicts, 0);
+        // The biased branch is learned: far fewer mispredicts than its
+        // dynamic executions.
+        assert!(bimodal.mispredicts < 256 / 2);
+    }
+
+    #[test]
+    fn bimodal_learns_biased_loops_better_than_alternation() {
+        // On a plain counted loop (always-taken back edge) the bimodal
+        // table converges to near-zero mispredicts.
+        use mosaic_ir::{BinOp, Constant, FunctionBuilder, MemImage, Module, RtVal, Type};
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("p".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let p = b.param(0);
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("l", Constant::i64(0).into(), Constant::i64(200).into(), |b, i| {
+            let a = b.gep(p, i, 4);
+            let v = b.load(Type::I32, a);
+            let v2 = b.bin(BinOp::Add, v, Constant::i32(1).into());
+            b.store(a, v2);
+        });
+        b.ret(None);
+        mosaic_ir::verify_module(&m).unwrap();
+        let mut mem = MemImage::new();
+        let buf = mem.alloc_i32(200);
+        let mut rec = mosaic_trace::TraceRecorder::new(1);
+        mosaic_ir::run_single(&m, mem, f, vec![RtVal::Int(buf as i64)], &mut rec).unwrap();
+        let tr = Arc::new(rec.finish().tile(0).clone());
+        let m = Arc::new(m);
+        let stats = run(BranchMode::Bimodal, &m, f, &tr);
+        assert!(
+            stats.mispredicts <= 3,
+            "a counted loop should converge: {} mispredicts",
+            stats.mispredicts
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! The Memory Address Orderer (paper §II-A, §III-A).
+//!
+//! "MosaicSim implements a Memory Address Orderer (MAO) to ensure that
+//! true memory dependencies (i.e. Read-After-Write dependencies) are
+//! respected. The MAO is populated with memory operations in program
+//! order, and can be instantiated with various parameters, e.g. to model
+//! a traditional Load-Store Queue."
+//!
+//! Rules enforced (paper §II-A):
+//! * a **store** may issue only if no *older* incomplete memory access has
+//!   a matching or unresolved address;
+//! * a **load** may issue only if no *older* incomplete **store** has a
+//!   matching or unresolved address.
+//!
+//! With perfect alias speculation (paper §III-C) the trace's complete
+//! address knowledge is used: only true matching-address conflicts stall.
+//!
+//! Capacity models the LSQ: at most `lsq_size` *issued-but-incomplete*
+//! operations (paper §III-A: "instructions cannot issue if the MAO is
+//! full; memory operations free up space upon completion").
+
+use std::collections::BTreeMap;
+
+/// Word granularity used for address matching (8-byte words).
+const WORD_SHIFT: u32 = 3;
+
+/// One tracked memory operation, keyed by its program-order sequence id.
+#[derive(Debug, Clone, Copy)]
+struct MaoEntry {
+    word: u64,
+    is_store: bool,
+    resolved: bool,
+    issued: bool,
+    complete: bool,
+}
+
+/// The MAO / LSQ model.
+#[derive(Debug, Clone)]
+pub struct Mao {
+    entries: BTreeMap<u64, MaoEntry>,
+    lsq_size: u32,
+    issued_incomplete: u32,
+    alias_speculation: bool,
+    load_stalls: u64,
+    store_stalls: u64,
+    capacity_stalls: u64,
+}
+
+impl Mao {
+    /// A MAO with LSQ capacity `lsq_size`; `alias_speculation` enables the
+    /// perfect-alias mode.
+    pub fn new(lsq_size: u32, alias_speculation: bool) -> Self {
+        assert!(lsq_size > 0, "LSQ size must be positive");
+        Mao {
+            entries: BTreeMap::new(),
+            lsq_size,
+            issued_incomplete: 0,
+            alias_speculation,
+            load_stalls: 0,
+            store_stalls: 0,
+            capacity_stalls: 0,
+        }
+    }
+
+    /// Inserts an operation in program order (at DBB launch). The address
+    /// is known from the trace; `resolved` tracks whether the *program*
+    /// has computed it yet (operands complete).
+    pub fn insert(&mut self, seq: u64, addr: u64, is_store: bool) {
+        self.entries.insert(
+            seq,
+            MaoEntry {
+                word: addr >> WORD_SHIFT,
+                is_store,
+                resolved: false,
+                issued: false,
+                complete: false,
+            },
+        );
+    }
+
+    /// Marks `seq`'s address as resolved (its operands completed).
+    pub fn resolve(&mut self, seq: u64) {
+        if let Some(e) = self.entries.get_mut(&seq) {
+            e.resolved = true;
+        }
+    }
+
+    /// Whether `seq` may issue under the ordering rules and LSQ capacity.
+    pub fn can_issue(&mut self, seq: u64) -> bool {
+        let Some(me) = self.entries.get(&seq).copied() else {
+            return true; // untracked: not a memory op
+        };
+        if self.issued_incomplete >= self.lsq_size {
+            self.capacity_stalls += 1;
+            return false;
+        }
+        for (&s, e) in self.entries.range(..seq) {
+            debug_assert!(s < seq);
+            if e.complete {
+                continue;
+            }
+            // Only stores can violate a load; any access can violate a store.
+            if !me.is_store && !e.is_store {
+                continue;
+            }
+            let conflict = if self.alias_speculation {
+                // Perfect anticipation of aliasing: trace addresses are
+                // ground truth, so only true same-word conflicts stall.
+                e.word == me.word
+            } else {
+                !e.resolved || e.word == me.word
+            };
+            if conflict {
+                if me.is_store {
+                    self.store_stalls += 1;
+                } else {
+                    self.load_stalls += 1;
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Marks `seq` issued (occupies LSQ capacity until completion).
+    pub fn mark_issued(&mut self, seq: u64) {
+        if let Some(e) = self.entries.get_mut(&seq) {
+            if !e.issued {
+                e.issued = true;
+                self.issued_incomplete += 1;
+            }
+        }
+    }
+
+    /// Marks `seq` complete and releases its LSQ slot. Completed entries
+    /// older than every incomplete entry are garbage-collected.
+    pub fn complete(&mut self, seq: u64) {
+        if let Some(e) = self.entries.get_mut(&seq) {
+            if e.issued {
+                self.issued_incomplete -= 1;
+            }
+            e.complete = true;
+        }
+        // GC the completed prefix.
+        let keys: Vec<u64> = self
+            .entries
+            .iter()
+            .take_while(|(_, e)| e.complete)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in keys {
+            self.entries.remove(&k);
+        }
+    }
+
+    /// Issued-but-incomplete operations (current LSQ occupancy).
+    pub fn occupancy(&self) -> u32 {
+        self.issued_incomplete
+    }
+
+    /// Tracked (in-flight) operations.
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Times a load stalled on the ordering rules.
+    pub fn load_stalls(&self) -> u64 {
+        self.load_stalls
+    }
+
+    /// Times a store stalled on the ordering rules.
+    pub fn store_stalls(&self) -> u64 {
+        self.store_stalls
+    }
+
+    /// Times the LSQ capacity rejected an issue.
+    pub fn capacity_stalls(&self) -> u64 {
+        self.capacity_stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_blocked_by_unresolved_older_store() {
+        let mut mao = Mao::new(8, false);
+        mao.insert(1, 0x100, true); // older store, unresolved
+        mao.insert(2, 0x200, false); // younger load, different address
+        mao.resolve(2);
+        assert!(!mao.can_issue(2), "unresolved older store must block");
+        mao.resolve(1);
+        assert!(mao.can_issue(2), "resolved non-matching store admits load");
+    }
+
+    #[test]
+    fn load_blocked_by_matching_incomplete_store() {
+        let mut mao = Mao::new(8, false);
+        mao.insert(1, 0x100, true);
+        mao.resolve(1);
+        mao.insert(2, 0x104, false); // same 8-byte word
+        mao.resolve(2);
+        assert!(!mao.can_issue(2));
+        mao.mark_issued(1);
+        mao.complete(1);
+        assert!(mao.can_issue(2));
+    }
+
+    #[test]
+    fn loads_do_not_block_loads() {
+        let mut mao = Mao::new(8, false);
+        mao.insert(1, 0x100, false);
+        mao.insert(2, 0x100, false);
+        // Older load unresolved, but loads never block loads.
+        assert!(mao.can_issue(2));
+    }
+
+    #[test]
+    fn store_blocked_by_any_older_incomplete_matching_access() {
+        let mut mao = Mao::new(8, false);
+        mao.insert(1, 0x100, false); // older load
+        mao.resolve(1);
+        mao.insert(2, 0x100, true); // matching store
+        mao.resolve(2);
+        assert!(!mao.can_issue(2), "WAR hazard: store waits for older load");
+        mao.mark_issued(1);
+        mao.complete(1);
+        assert!(mao.can_issue(2));
+    }
+
+    #[test]
+    fn alias_speculation_ignores_unresolved_non_aliasing() {
+        let mut mao = Mao::new(8, true);
+        mao.insert(1, 0x100, true); // unresolved, but trace says 0x100
+        mao.insert(2, 0x200, false); // load to 0x200: no true alias
+        assert!(mao.can_issue(2), "perfect alias speculation admits load");
+        mao.insert(3, 0x100, false); // true alias
+        assert!(!mao.can_issue(3), "true aliases still stall");
+    }
+
+    #[test]
+    fn lsq_capacity_limits_issued_incomplete() {
+        let mut mao = Mao::new(2, true);
+        for s in 0..4 {
+            mao.insert(s, 0x1000 + s * 64, false);
+            mao.resolve(s);
+        }
+        assert!(mao.can_issue(0));
+        mao.mark_issued(0);
+        assert!(mao.can_issue(1));
+        mao.mark_issued(1);
+        assert!(!mao.can_issue(2), "LSQ full");
+        assert_eq!(mao.occupancy(), 2);
+        mao.complete(0);
+        assert!(mao.can_issue(2));
+        assert!(mao.capacity_stalls() > 0);
+    }
+
+    #[test]
+    fn gc_reclaims_completed_prefix() {
+        let mut mao = Mao::new(8, true);
+        for s in 0..10 {
+            mao.insert(s, s * 8, false);
+            mao.resolve(s);
+            mao.mark_issued(s);
+        }
+        for s in 0..10 {
+            mao.complete(s);
+        }
+        assert_eq!(mao.tracked(), 0);
+        assert_eq!(mao.occupancy(), 0);
+    }
+
+    #[test]
+    fn completion_out_of_order_gc_waits_for_prefix() {
+        let mut mao = Mao::new(8, true);
+        mao.insert(1, 8, false);
+        mao.insert(2, 16, false);
+        mao.resolve(1);
+        mao.resolve(2);
+        mao.mark_issued(1);
+        mao.mark_issued(2);
+        mao.complete(2); // younger completes first
+        assert_eq!(mao.tracked(), 2, "prefix not complete yet");
+        mao.complete(1);
+        assert_eq!(mao.tracked(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A random program-order sequence of memory ops; the model must
+    /// never admit a load past an older incomplete *matching* store, in
+    /// either speculation mode, under any issue/complete interleaving.
+    #[derive(Debug, Clone)]
+    struct Op {
+        addr: u64,
+        is_store: bool,
+    }
+
+    fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+        proptest::collection::vec(
+            (0u64..8, proptest::bool::ANY).prop_map(|(a, s)| Op {
+                addr: a * 8, // distinct 8-byte words
+                is_store: s,
+            }),
+            1..24,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn raw_ordering_is_never_violated(
+            ops in ops_strategy(),
+            spec in proptest::bool::ANY,
+            completion_order in proptest::collection::vec(0usize..24, 0..48),
+        ) {
+            let mut mao = Mao::new(64, spec);
+            for (i, op) in ops.iter().enumerate() {
+                mao.insert(i as u64, op.addr, op.is_store);
+                mao.resolve(i as u64);
+            }
+            let mut issued = vec![false; ops.len()];
+            let mut complete = vec![false; ops.len()];
+            // Drive a random schedule: repeatedly try to issue everything,
+            // completing ops in the fuzzed order in between.
+            let mut completions = completion_order.iter().map(|&i| i % ops.len());
+            for _round in 0..ops.len() * 2 + 2 {
+                for i in 0..ops.len() {
+                    if issued[i] || !mao.can_issue(i as u64) {
+                        continue;
+                    }
+                    // THE invariant: when a load issues, no older matching
+                    // store may be incomplete; when a store issues, no
+                    // older matching access may be incomplete.
+                    for j in 0..i {
+                        if complete[j] {
+                            continue;
+                        }
+                        let conflict = ops[j].addr == ops[i].addr
+                            && (ops[j].is_store || ops[i].is_store);
+                        prop_assert!(
+                            !conflict,
+                            "op {i} issued past older incomplete conflicting op {j}"
+                        );
+                    }
+                    mao.mark_issued(i as u64);
+                    issued[i] = true;
+                }
+                if let Some(c) = completions.next() {
+                    if issued[c] && !complete[c] {
+                        mao.complete(c as u64);
+                        complete[c] = true;
+                    }
+                }
+            }
+            // Drain: completing everything must leave the MAO empty.
+            for i in 0..ops.len() {
+                if !issued[i] {
+                    // All conflicts completed by now? Complete older ones.
+                    for j in 0..i {
+                        if issued[j] && !complete[j] {
+                            mao.complete(j as u64);
+                            complete[j] = true;
+                        }
+                    }
+                    if mao.can_issue(i as u64) {
+                        mao.mark_issued(i as u64);
+                        issued[i] = true;
+                    }
+                }
+            }
+            for i in 0..ops.len() {
+                if issued[i] && !complete[i] {
+                    mao.complete(i as u64);
+                    complete[i] = true;
+                }
+            }
+        }
+
+        /// Occupancy never exceeds the configured LSQ size.
+        #[test]
+        fn lsq_capacity_is_respected(
+            ops in ops_strategy(),
+            cap in 1u32..8,
+        ) {
+            let mut mao = Mao::new(cap, true);
+            for (i, op) in ops.iter().enumerate() {
+                mao.insert(i as u64, op.addr, op.is_store);
+                mao.resolve(i as u64);
+            }
+            let mut issued = 0u32;
+            for i in 0..ops.len() {
+                if mao.can_issue(i as u64) {
+                    mao.mark_issued(i as u64);
+                    issued += 1;
+                    prop_assert!(mao.occupancy() <= cap);
+                } else if issued >= cap {
+                    // Full LSQ is an acceptable reason to refuse.
+                }
+            }
+            prop_assert!(mao.occupancy() <= cap);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! On-disk trace format.
+//!
+//! The paper's toolchain materializes traces as files between the native
+//! instrumented run and simulation (§II-A, §VI-B). This module gives
+//! [`KernelTrace`] a compact little-endian binary format
+//! (`write_to`/`read_from` plus `save`/`load` path helpers) so traces can
+//! be generated once and replayed across many system configurations —
+//! the workflow behind every multi-config figure harness.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use mosaic_ir::{AccelOp, BlockId, FuncId, InstId};
+
+use crate::{AccelInvocation, KernelTrace, MemAccess, TileTrace};
+
+const MAGIC: &[u8; 4] = b"MSTR";
+const VERSION: u32 = 1;
+
+fn w_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn r_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn w_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    w_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn r_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = r_u32(r)? as usize;
+    if len > 4096 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trace string implausibly long",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf-8"))
+}
+
+impl KernelTrace {
+    /// Writes the trace in the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w_u32(w, VERSION)?;
+        w_u32(w, self.tile_count() as u32)?;
+        for tile in self.tiles() {
+            match tile.func() {
+                Some(f) => {
+                    w.write_all(&[1])?;
+                    w_u32(w, f.0)?;
+                }
+                None => w.write_all(&[0, 0, 0, 0, 0])?,
+            }
+            w_u64(w, tile.path().len() as u64)?;
+            for b in tile.path() {
+                w_u32(w, b.0)?;
+            }
+            let mem_insts: Vec<InstId> = {
+                let mut v: Vec<InstId> = tile.mem_insts().collect();
+                v.sort();
+                v
+            };
+            w_u32(w, mem_insts.len() as u32)?;
+            for inst in mem_insts {
+                w_u32(w, inst.0)?;
+                let stream = tile.mem_stream(inst);
+                w_u64(w, stream.len() as u64)?;
+                for a in stream {
+                    w_u64(w, a.addr)?;
+                    w.write_all(&[a.size, a.write as u8])?;
+                }
+            }
+            w_u32(w, tile.accel_invocations().len() as u32)?;
+            for inv in tile.accel_invocations() {
+                w_u32(w, inv.inst.0)?;
+                w_str(w, inv.accel.name())?;
+                w_u32(w, inv.args.len() as u32)?;
+                for &a in &inv.args {
+                    w_u64(w, a as u64)?;
+                }
+            }
+            w_u64(w, tile.retired())?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace in the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic/version or malformed content,
+    /// plus any I/O error from the reader.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<KernelTrace> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a trace file"));
+        }
+        let version = r_u32(r)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        let tiles = r_u32(r)? as usize;
+        if tiles > 1 << 16 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "too many tiles"));
+        }
+        let mut out = Vec::with_capacity(tiles);
+        for _ in 0..tiles {
+            let mut tile = TileTrace::default();
+            let has_func = r_u8(r)? == 1;
+            let func = r_u32(r)?;
+            if has_func {
+                tile.func = Some(FuncId(func));
+            }
+            let path_len = r_u64(r)? as usize;
+            tile.path.reserve(path_len);
+            for _ in 0..path_len {
+                tile.path.push(BlockId(r_u32(r)?));
+            }
+            let mem_insts = r_u32(r)? as usize;
+            for _ in 0..mem_insts {
+                let inst = InstId(r_u32(r)?);
+                let len = r_u64(r)? as usize;
+                let mut stream = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let addr = r_u64(r)?;
+                    let size = r_u8(r)?;
+                    let write = r_u8(r)? != 0;
+                    stream.push(MemAccess { addr, size, write });
+                }
+                tile.mem.insert(inst, stream);
+            }
+            let accels = r_u32(r)? as usize;
+            for _ in 0..accels {
+                let inst = InstId(r_u32(r)?);
+                let name = r_str(r)?;
+                let accel = AccelOp::from_name(&name).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown accelerator `{name}`"),
+                    )
+                })?;
+                let nargs = r_u32(r)? as usize;
+                let mut args = Vec::with_capacity(nargs);
+                for _ in 0..nargs {
+                    args.push(r_u64(r)? as i64);
+                }
+                let inv = AccelInvocation { inst, accel, args };
+                tile.accel.entry(inst).or_default().push(inv.clone());
+                tile.accel_order.push(inv);
+            }
+            tile.retired = r_u64(r)?;
+            out.push(tile);
+        }
+        Ok(KernelTrace { tiles: out })
+    }
+
+    /// Saves the trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()
+    }
+
+    /// Loads a trace from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and format violations.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<KernelTrace> {
+        let mut r = BufReader::new(File::open(path)?);
+        KernelTrace::read_from(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRecorder;
+    use mosaic_ir::{run_single, BinOp, Constant, FunctionBuilder, MemImage, Module, RtVal, Type};
+
+    fn sample_trace() -> KernelTrace {
+        let mut m = Module::new("t");
+        let f = m.add_function(
+            "k",
+            vec![("p".into(), Type::Ptr), ("n".into(), Type::I64)],
+            Type::Void,
+        );
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let (p, n) = (b.param(0), b.param(1));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("l", Constant::i64(0).into(), n, |b, i| {
+            let a = b.gep(p, i, 4);
+            let v = b.load(Type::I32, a);
+            let v2 = b.bin(BinOp::Add, v, Constant::i32(3).into());
+            b.store(a, v2);
+        });
+        b.accel_call(
+            mosaic_ir::AccelOp::Relu,
+            vec![Constant::i64(128).into()],
+        );
+        b.ret(None);
+        let mut mem = MemImage::new();
+        let buf = mem.alloc_i32(32);
+        let mut rec = TraceRecorder::new(1);
+        run_single(
+            &m,
+            mem,
+            f,
+            vec![RtVal::Int(buf as i64), RtVal::Int(32)],
+            &mut rec,
+        )
+        .unwrap();
+        rec.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let loaded = KernelTrace::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.tile_count(), trace.tile_count());
+        let (a, b) = (trace.tile(0), loaded.tile(0));
+        assert_eq!(a.path(), b.path());
+        assert_eq!(a.retired(), b.retired());
+        assert_eq!(a.func(), b.func());
+        let mut insts: Vec<_> = a.mem_insts().collect();
+        insts.sort();
+        for i in insts {
+            assert_eq!(a.mem_stream(i), b.mem_stream(i));
+        }
+        assert_eq!(a.accel_invocations(), b.accel_invocations());
+        assert_eq!(trace.size_report(), loaded.size_report());
+    }
+
+    #[test]
+    fn save_and_load_via_filesystem() {
+        let trace = sample_trace();
+        let path = std::env::temp_dir().join("mosaic_trace_test.mstr");
+        trace.save(&path).unwrap();
+        let loaded = KernelTrace::load(&path).unwrap();
+        assert_eq!(loaded.tile(0).path(), trace.tile(0).path());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let garbage = b"definitely not a trace";
+        assert!(KernelTrace::read_from(&mut garbage.as_ref()).is_err());
+        // Right magic, wrong version.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(b"MSTR");
+        bad.extend_from_slice(&99u32.to_le_bytes());
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        assert!(KernelTrace::read_from(&mut bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_is_an_error_not_a_panic() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        for cut in [5usize, 10, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                KernelTrace::read_from(&mut &buf[..cut]).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Multicore scaling: run the SPMV kernel on 1..8 SPMD tiles sharing the
+//! memory hierarchy and watch the bandwidth-bound sublinear scaling of
+//! paper Fig. 9.
+//!
+//! Run with: `cargo run --release --example multicore_scaling`
+
+use mosaicsim::kernels::build_parboil;
+use mosaicsim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("SPMV scaling on the Table-I memory system");
+    println!("{:>8} {:>12} {:>9}", "tiles", "cycles", "speedup");
+    let mut base = None;
+    for tiles in [1usize, 2, 4, 8] {
+        let prepared = build_parboil("spmv", 1);
+        let report = simulate_spmd(
+            prepared.module,
+            prepared.func,
+            prepared.args,
+            prepared.mem,
+            tiles,
+            CoreConfig::out_of_order(),
+            xeon_memory(),
+        )?;
+        let b = *base.get_or_insert(report.cycles as f64);
+        println!(
+            "{:>8} {:>12} {:>8.2}x   (DRAM throttled {} cycles)",
+            tiles,
+            report.cycles,
+            b / report.cycles as f64,
+            report.dram_throttled
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! Integration tests for the Decoupled Access/Execute flow
+//! (paper §VII-A): compiler pass → functional pair execution → timing
+//! simulation with DeSC-extended cores.
+
+use std::sync::Arc;
+
+use mosaicsim::kernels::projection;
+use mosaicsim::prelude::*;
+
+fn simulate_plain(p: &mosaicsim::kernels::Prepared, config: CoreConfig) -> SimReport {
+    let (trace, _) = p.trace(1).expect("trace");
+    SystemBuilder::new(Arc::new(p.module.clone()), Arc::new(trace))
+        .memory(dae_memory())
+        .core(config, p.func, 0)
+        .run()
+        .expect("simulate")
+}
+
+fn simulate_dae_pairs(pairs: usize) -> SimReport {
+    let mut p = projection::build(1);
+    let slices = slice_dae(&mut p.module, p.func, DaeQueues::default()).expect("sliceable");
+    // SPMD across pairs: each pair owns a disjoint queue namespace.
+    let mut programs = Vec::new();
+    for pair in 0..pairs {
+        let offset = 1000 * pair as u32;
+        let mut acc = TileProgram::single(slices.access, p.args.clone()).with_queue_offset(offset);
+        acc.tile_id = pair as i64;
+        acc.num_tiles = pairs as i64;
+        let mut exe = TileProgram::single(slices.execute, p.args.clone()).with_queue_offset(offset);
+        exe.tile_id = pair as i64;
+        exe.num_tiles = pairs as i64;
+        programs.push(acc);
+        programs.push(exe);
+    }
+    let (trace, _) = record_trace(&p.module, p.mem.clone(), &programs).expect("trace");
+    let module = Arc::new(p.module);
+    let trace = Arc::new(trace);
+    let mut builder = SystemBuilder::new(module, trace)
+        .memory(dae_memory())
+        .channels(dae_channel());
+    for pair in 0..pairs {
+        let offset = 1000 * pair as u32;
+        builder = builder
+            .core(
+                CoreConfig::dae_access()
+                    .with_name(&format!("access#{pair}"))
+                    .with_queue_offset(offset),
+                slices.access,
+                2 * pair,
+            )
+            .core(
+                CoreConfig::in_order()
+                    .with_name(&format!("execute#{pair}"))
+                    .with_queue_offset(offset),
+                slices.execute,
+                2 * pair + 1,
+            );
+    }
+    builder.run().expect("simulate")
+}
+
+#[test]
+fn dae_pair_beats_single_in_order_core() {
+    let p = projection::build(1);
+    let ino = simulate_plain(&p, CoreConfig::in_order());
+    let dae = simulate_dae_pairs(1);
+    let speedup = ino.cycles as f64 / dae.cycles as f64;
+    assert!(
+        speedup > 1.5,
+        "DAE pair should clearly beat one InO core, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn more_dae_pairs_scale() {
+    let one = simulate_dae_pairs(1);
+    let four = simulate_dae_pairs(4);
+    let speedup = one.cycles as f64 / four.cycles as f64;
+    assert!(
+        speedup > 1.5,
+        "4 DAE pairs should beat 1 pair, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn dae_channels_drain_completely() {
+    // After simulation every send was matched by a recv (no stranded
+    // messages) — verified indirectly: the run terminates and both tiles
+    // retire the traced instruction counts.
+    let mut p = projection::build_with(40, 64);
+    let slices = slice_dae(&mut p.module, p.func, DaeQueues::default()).unwrap();
+    let programs = vec![
+        TileProgram::single(slices.access, p.args.clone()),
+        TileProgram::single(slices.execute, p.args.clone()),
+    ];
+    let (trace, _) = record_trace(&p.module, p.mem.clone(), &programs).unwrap();
+    let expect0 = trace.tile(0).retired();
+    let expect1 = trace.tile(1).retired();
+    let report = SystemBuilder::new(Arc::new(p.module), Arc::new(trace))
+        .memory(dae_memory())
+        .channels(dae_channel())
+        .core(CoreConfig::dae_access(), slices.access, 0)
+        .core(CoreConfig::in_order(), slices.execute, 1)
+        .run()
+        .unwrap();
+    assert_eq!(report.tiles[0].retired, expect0);
+    assert_eq!(report.tiles[1].retired, expect1);
+}
+
+#[test]
+fn desc_extensions_matter() {
+    // Without the DeSC structures the InO access core serializes on its
+    // loads and the pair loses most of its advantage.
+    let mut p = projection::build(1);
+    let slices = slice_dae(&mut p.module, p.func, DaeQueues::default()).unwrap();
+    let programs = vec![
+        TileProgram::single(slices.access, p.args.clone()),
+        TileProgram::single(slices.execute, p.args.clone()),
+    ];
+    let (trace, _) = record_trace(&p.module, p.mem.clone(), &programs).unwrap();
+    let module = Arc::new(p.module);
+    let trace = Arc::new(trace);
+    let with = SystemBuilder::new(module.clone(), trace.clone())
+        .memory(dae_memory())
+        .channels(dae_channel())
+        .core(CoreConfig::dae_access(), slices.access, 0)
+        .core(CoreConfig::in_order(), slices.execute, 1)
+        .run()
+        .unwrap();
+    let without = SystemBuilder::new(module, trace)
+        .memory(dae_memory())
+        .channels(dae_channel())
+        .core(CoreConfig::in_order(), slices.access, 0)
+        .core(CoreConfig::in_order(), slices.execute, 1)
+        .run()
+        .unwrap();
+    assert!(
+        with.cycles * 2 < without.cycles,
+        "DeSC structures should at least halve the runtime: {} vs {}",
+        with.cycles,
+        without.cycles
+    );
+}

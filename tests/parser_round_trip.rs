@@ -1,0 +1,53 @@
+//! Textual IR round-trip integration: every benchmark kernel prints,
+//! re-parses, and simulates to the *same cycle count* — a strong check
+//! that the printer/parser preserve execution-relevant structure.
+
+use std::sync::Arc;
+
+use mosaicsim::kernels::build_parboil;
+use mosaicsim::prelude::*;
+
+fn cycles_of(module: &Module, name: &str, args: &[mosaicsim::ir::RtVal], mem: MemImage) -> u64 {
+    let func = module.function_by_name(name).expect("kernel present");
+    let programs = vec![TileProgram::single(func, args.to_vec())];
+    let (trace, _) = record_trace(module, mem, &programs).expect("trace");
+    SystemBuilder::new(Arc::new(module.clone()), Arc::new(trace))
+        .memory(small_memory())
+        .core(CoreConfig::out_of_order(), func, 0)
+        .run()
+        .expect("simulate")
+        .cycles
+}
+
+#[test]
+fn printed_and_parsed_kernels_simulate_identically() {
+    for name in ["sgemm", "spmv", "histo", "stencil"] {
+        let p = build_parboil(name, 1);
+        let original = cycles_of(&p.module, p.module.function(p.func).name(), &p.args, p.mem.clone());
+        let text = print_module(&p.module);
+        let reparsed = parse_module(&text).expect("parse");
+        let roundtrip = cycles_of(
+            &reparsed,
+            p.module.function(p.func).name(),
+            &p.args,
+            p.mem.clone(),
+        );
+        assert_eq!(
+            original, roundtrip,
+            "{name}: parsed module must time identically"
+        );
+    }
+}
+
+#[test]
+fn all_kernels_print_and_reparse() {
+    for name in mosaicsim::kernels::PARBOIL_NAMES {
+        let p = build_parboil(name, 1);
+        let text = print_module(&p.module);
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{name} failed to reparse: {e}"));
+        assert_eq!(reparsed.functions().count(), p.module.functions().count());
+        // Second round trip is a fixed point.
+        assert_eq!(print_module(&reparsed), text, "{name} not a fixed point");
+    }
+}
