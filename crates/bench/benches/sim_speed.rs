@@ -1,92 +1,168 @@
-//! Criterion benches: simulation speed (paper §VI-B).
+//! Simulation-speed bench (paper §VI-B, Fig. 13-style).
 //!
 //! "MosaicSim has a competitive simulation speed, achieving a
 //! single-threaded speed of up to 0.47 MIPS ... comparable to Sniper
 //! (up to 0.45 MIPS) and one order of magnitude better than gem5
 //! (up to 0.053 MIPS)."
 //!
-//! These benches measure the two pipeline halves separately — trace
-//! generation (the DTG) and timing simulation — and print the achieved
-//! simulated-MIPS alongside the criterion timings.
+//! A plain `main` harness (no external bench framework) that measures the
+//! naive single-cycle stepper against the event-horizon fast-forward
+//! scheduler on a latency-bound kernel (BFS) and a compute-bound kernel
+//! (SGEMM), and writes machine-readable results to `BENCH_interleaver.json`
+//! in the workspace root. Run with `cargo bench -p mosaic-bench`.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use mosaic_core::{xeon_memory, SystemBuilder};
 use mosaic_kernels::build_parboil;
+use mosaic_mem::PrefetchConfig;
 use mosaic_tile::CoreConfig;
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
-    group.sample_size(10);
-    for name in ["sgemm", "spmv"] {
-        let p = build_parboil(name, 1);
-        group.bench_function(name, |b| {
-            b.iter(|| p.trace(1).expect("trace"));
-        });
-    }
-    group.finish();
+struct Sample {
+    kernel: &'static str,
+    config: &'static str,
+    mode: &'static str,
+    cycles: u64,
+    instrs: u64,
+    wall_secs: f64,
 }
 
-fn bench_timing_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("timing_simulation");
-    group.sample_size(10);
-    for name in ["sgemm", "spmv", "stencil"] {
-        let p = build_parboil(name, 1);
-        let (trace, _) = p.trace(1).expect("trace");
-        let module = Arc::new(p.module.clone());
-        let trace = Arc::new(trace);
-        let insts = trace.total_retired();
-        // Report simulated MIPS once per kernel (outside criterion's
-        // sampling, for the paper's §VI-B comparison).
+impl Sample {
+    fn sim_cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_secs
+    }
+    fn mips(&self) -> f64 {
+        self.instrs as f64 / self.wall_secs / 1e6
+    }
+}
+
+fn measure(
+    kernel: &'static str,
+    scale: u32,
+    config_name: &'static str,
+    fast_forward: bool,
+    reps: u32,
+) -> Sample {
+    let p = build_parboil(kernel, scale);
+    let (trace, _) = p.trace(1).expect("trace");
+    let module = Arc::new(p.module.clone());
+    let trace = Arc::new(trace);
+    let instrs = trace.total_retired();
+    // "io_nopf" is the DRAM-stall-heavy configuration: an in-order core
+    // with the stream prefetcher disabled, so DRAM latency is fully
+    // exposed and stall spans are long.
+    let (core, memory) = match config_name {
+        "io_nopf" => (
+            CoreConfig::in_order(),
+            mosaic_mem::HierarchyConfig {
+                prefetch: PrefetchConfig::disabled(),
+                ..xeon_memory()
+            },
+        ),
+        _ => (CoreConfig::out_of_order(), xeon_memory()),
+    };
+    // One warm-up run, then keep the best of `reps` timed runs.
+    let mut cycles = 0;
+    let mut best = f64::INFINITY;
+    for _ in 0..=reps {
         let start = Instant::now();
         let report = SystemBuilder::new(module.clone(), trace.clone())
-            .memory(xeon_memory())
-            .core(CoreConfig::out_of_order(), p.func, 0)
+            .memory(memory.clone())
+            .core(core.clone(), p.func, 0)
+            .fast_forward(fast_forward)
             .run()
             .expect("simulate");
         let wall = start.elapsed().as_secs_f64();
-        println!(
-            "[sim-speed] {name}: {} instrs in {:.3}s = {:.2} simulated MIPS ({} cycles)",
-            insts,
-            wall,
-            insts as f64 / wall / 1e6,
-            report.cycles
-        );
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                SystemBuilder::new(module.clone(), trace.clone())
-                    .memory(xeon_memory())
-                    .core(CoreConfig::out_of_order(), p.func, 0)
-                    .run()
-                    .expect("simulate")
-            });
-        });
+        best = best.min(wall);
+        cycles = report.cycles;
     }
-    group.finish();
+    Sample {
+        kernel,
+        config: config_name,
+        mode: if fast_forward { "fast_forward" } else { "naive" },
+        cycles,
+        instrs,
+        wall_secs: best,
+    }
 }
 
-fn bench_accelerator_models(c: &mut Criterion) {
-    use mosaic_accel::{analytic_estimate, rtl_cycles, AccelConfig};
-    use mosaic_ir::AccelOp;
-    let cfg = AccelConfig::default();
-    let args = [0i64, 0, 0, 1024, 1024, 1024];
-    let mut group = c.benchmark_group("accelerator_models");
-    group.bench_function("analytic_sgemm_1k", |b| {
-        b.iter(|| analytic_estimate(AccelOp::Sgemm, &args, &cfg));
-    });
-    group.bench_function("rtl_level_sgemm_1k", |b| {
-        b.iter(|| rtl_cycles(AccelOp::Sgemm, &args, &cfg));
-    });
-    group.finish();
-}
+fn main() {
+    let mut samples = Vec::new();
+    println!(
+        "{:<10} {:<10} {:<14} {:>12} {:>12} {:>10} {:>14} {:>8}",
+        "kernel", "config", "mode", "cycles", "instrs", "wall [s]", "sim-cyc/s", "MIPS"
+    );
+    // BFS is latency-bound (atomics + pointer chasing); LBM on the
+    // in-order/no-prefetch configuration is the DRAM-stall-heavy extreme
+    // (the majority of cycles are pure DRAM-wait spans), where
+    // fast-forwarding pays most. SGEMM on an OoO core is the
+    // compute-bound other extreme.
+    for (kernel, scale, config) in [
+        ("bfs", 2, "io_nopf"),
+        ("bfs", 2, "ooo"),
+        ("lbm", 1, "io_nopf"),
+        ("sgemm", 1, "ooo"),
+    ] {
+        for ff in [false, true] {
+            let s = measure(kernel, scale, config, ff, 2);
+            println!(
+                "{:<10} {:<10} {:<14} {:>12} {:>12} {:>10.3} {:>14.0} {:>8.3}",
+                s.kernel,
+                s.config,
+                s.mode,
+                s.cycles,
+                s.instrs,
+                s.wall_secs,
+                s.sim_cycles_per_sec(),
+                s.mips()
+            );
+            samples.push(s);
+        }
+    }
 
-criterion_group!(
-    benches,
-    bench_trace_generation,
-    bench_timing_simulation,
-    bench_accelerator_models
-);
-criterion_main!(benches);
+    // Pair up naive/fast-forward per kernel for the speedup summary.
+    let mut json = String::from("{\n  \"bench\": \"interleaver\",\n  \"results\": [\n");
+    for (i, pair) in samples.chunks(2).enumerate() {
+        let (naive, ff) = (&pair[0], &pair[1]);
+        assert_eq!(
+            naive.cycles, ff.cycles,
+            "fast-forward must be cycle-identical to naive"
+        );
+        let speedup = naive.wall_secs / ff.wall_secs;
+        println!(
+            "{}/{}: fast-forward speedup {:.2}x ({} cycles, identical in both modes)",
+            naive.kernel, naive.config, speedup, naive.cycles
+        );
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"config\": \"{}\", \"cycles\": {}, \"instrs\": {}, \
+             \"naive_wall_secs\": {:.6}, \"fast_forward_wall_secs\": {:.6}, \
+             \"naive_sim_cycles_per_sec\": {:.1}, \"fast_forward_sim_cycles_per_sec\": {:.1}, \
+             \"naive_mips\": {:.4}, \"fast_forward_mips\": {:.4}, \
+             \"speedup\": {:.3}}}{}\n",
+            naive.kernel,
+            naive.config,
+            naive.cycles,
+            naive.instrs,
+            naive.wall_secs,
+            ff.wall_secs,
+            naive.sim_cycles_per_sec(),
+            ff.sim_cycles_per_sec(),
+            naive.mips(),
+            ff.mips(),
+            speedup,
+            if i + 1 < samples.len() / 2 { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    // Walk up from the bench's CWD (crate dir under `cargo bench`) to the
+    // workspace root, identified by the `crates` subdirectory.
+    let mut dir = std::env::current_dir().expect("cwd");
+    while !dir.join("crates").is_dir() {
+        assert!(dir.pop(), "workspace root not found");
+    }
+    let out = dir.join("BENCH_interleaver.json");
+    std::fs::write(&out, json).expect("write BENCH_interleaver.json");
+    println!("wrote {}", out.display());
+}

@@ -1,0 +1,57 @@
+//! Fast-forward diagnostics probe: stepped vs skipped cycle counts.
+use std::sync::Arc;
+use std::time::Instant;
+
+use mosaic_core::{xeon_memory, SystemBuilder};
+use mosaic_kernels::build_parboil;
+use mosaic_mem::{BankedDramConfig, DramKind, PrefetchConfig};
+use mosaic_tile::CoreConfig;
+
+fn main() {
+    for (kernel, scale, mshr, banked, pf) in [
+        ("bfs", 2, 16usize, false, false),
+        ("bfs", 2, 4, false, false),
+        ("bfs", 2, 2, false, false),
+        ("bfs", 2, 16, true, false),
+        ("lbm", 1, 4, false, false),
+        ("lbm", 1, 16, true, false),
+        ("spmv", 4, 4, false, false),
+    ] {
+        let p = build_parboil(kernel, scale);
+        let (trace, _) = p.trace(1).expect("trace");
+        let config = CoreConfig::in_order();
+        let mut mem = xeon_memory();
+        if !pf {
+            mem.prefetch = PrefetchConfig::disabled();
+        }
+        mem.mshr_entries = mshr;
+        if banked {
+            mem.dram = DramKind::Banked(BankedDramConfig::default());
+        }
+        let mut times = [0f64; 2];
+        let mut cycles = [0u64; 2];
+        for (i, ff) in [false, true].into_iter().enumerate() {
+            let t0 = Instant::now();
+            let mut il = SystemBuilder::new(Arc::new(p.module.clone()), Arc::new(trace.clone()))
+                .memory(mem.clone())
+                .core(config.clone(), p.func, 0)
+                .fast_forward(ff)
+                .build();
+            il.run().expect("simulate");
+            times[i] = t0.elapsed().as_secs_f64();
+            cycles[i] = il.now();
+            if ff {
+                println!(
+                    "{kernel}/mshr{mshr}/banked={banked}: cyc={} stepped={} skips={} avgspan={:.1} naive={:.2}s ff={:.2}s speedup={:.2}x",
+                    il.now(),
+                    il.steps_executed(),
+                    il.skips_taken(),
+                    il.cycles_skipped() as f64 / il.skips_taken().max(1) as f64,
+                    times[0], times[1],
+                    times[0] / times[1]
+                );
+            }
+        }
+        assert_eq!(cycles[0], cycles[1]);
+    }
+}

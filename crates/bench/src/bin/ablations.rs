@@ -1,8 +1,12 @@
 //! Design-choice ablations (DESIGN.md §4.5): quantify the model features
 //! the paper calls out — prefetching, DRAM model fidelity, memory-alias
 //! speculation, branch speculation, and MSHR capacity.
+//!
+//! Every ablation grid is embarrassingly parallel, so each section runs
+//! through the [`run_sweep`] harness; the footer reports the aggregate
+//! simulation throughput of the whole binary.
 
-use mosaic_bench::run_spmd;
+use mosaic_bench::{run_spmd, run_sweep, Sweep};
 use mosaic_core::xeon_memory;
 use mosaic_kernels::build_parboil;
 use mosaic_mem::{BankedDramConfig, DramKind, HierarchyConfig, PrefetchConfig};
@@ -19,18 +23,32 @@ fn with_prefetch(base: HierarchyConfig, on: bool) -> HierarchyConfig {
     }
 }
 
+/// Accumulates whole-binary throughput across the section sweeps.
+fn tally(total: &mut (u64, u64, f64), sweep: &Sweep) {
+    total.0 += sweep.points.iter().map(|p| p.report.cycles).sum::<u64>();
+    total.1 += sweep.points.iter().map(|p| p.report.total_retired).sum::<u64>();
+    total.2 += sweep.wall_secs;
+}
+
 fn main() {
     println!("Ablation studies\n");
+    let mut total = (0u64, 0u64, 0f64);
 
     println!("1. Stream prefetcher (paper §V-A) — streaming kernels benefit:");
-    for name in ["stencil", "sgemm", "bfs"] {
+    let names = ["stencil", "sgemm", "bfs"];
+    let points: Vec<(&str, bool)> =
+        names.iter().flat_map(|&n| [(n, true), (n, false)]).collect();
+    let sweep = run_sweep(&points, |&(name, on)| {
         let p = build_parboil(name, 1);
-        let on = run_spmd(&p, 1, CoreConfig::out_of_order(), with_prefetch(xeon_memory(), true));
-        let p = build_parboil(name, 1);
-        let off = run_spmd(&p, 1, CoreConfig::out_of_order(), with_prefetch(xeon_memory(), false));
+        (format!("{name}/{on}"),
+         run_spmd(&p, 1, CoreConfig::out_of_order(), with_prefetch(xeon_memory(), on)))
+    });
+    tally(&mut total, &sweep);
+    for pair in sweep.points.chunks(2) {
+        let (on, off) = (&pair[0].report, &pair[1].report);
         println!(
             "   {:<10} on {:>10}  off {:>10}  gain {:>5.2}x  (prefetches {})",
-            name,
+            pair[0].label.split('/').next().unwrap_or(""),
             on.cycles,
             off.cycles,
             off.cycles as f64 / on.cycles as f64,
@@ -39,18 +57,28 @@ fn main() {
     }
 
     println!("\n2. DRAM model: SimpleDRAM vs banked (DRAMSim2-substitute):");
-    for name in ["spmv", "stencil"] {
+    let points: Vec<(&str, bool)> = ["spmv", "stencil"]
+        .iter()
+        .flat_map(|&n| [(n, false), (n, true)])
+        .collect();
+    let sweep = run_sweep(&points, |&(name, banked)| {
         let p = build_parboil(name, 1);
-        let simple = run_spmd(&p, 1, CoreConfig::out_of_order(), xeon_memory());
-        let p = build_parboil(name, 1);
-        let banked_cfg = HierarchyConfig {
-            dram: DramKind::Banked(BankedDramConfig::default()),
-            ..xeon_memory()
+        let mem = if banked {
+            HierarchyConfig {
+                dram: DramKind::Banked(BankedDramConfig::default()),
+                ..xeon_memory()
+            }
+        } else {
+            xeon_memory()
         };
-        let banked = run_spmd(&p, 1, CoreConfig::out_of_order(), banked_cfg);
+        (name.to_string(), run_spmd(&p, 1, CoreConfig::out_of_order(), mem))
+    });
+    tally(&mut total, &sweep);
+    for pair in sweep.points.chunks(2) {
+        let (simple, banked) = (&pair[0].report, &pair[1].report);
         println!(
             "   {:<10} simple {:>10}  banked {:>10}  ratio {:>5.2}",
-            name,
+            pair[0].label,
             simple.cycles,
             banked.cycles,
             banked.cycles as f64 / simple.cycles as f64
@@ -58,16 +86,22 @@ fn main() {
     }
 
     println!("\n3. Perfect memory-alias speculation (paper §III-C):");
-    for name in ["histo", "mri-gridding"] {
+    let points: Vec<(&str, bool)> = ["histo", "mri-gridding"]
+        .iter()
+        .flat_map(|&n| [(n, false), (n, true)])
+        .collect();
+    let sweep = run_sweep(&points, |&(name, spec)| {
         let p = build_parboil(name, 1);
-        let mut no_spec = CoreConfig::out_of_order();
-        no_spec.alias_speculation = false;
-        let off = run_spmd(&p, 1, no_spec, xeon_memory());
-        let p = build_parboil(name, 1);
-        let on = run_spmd(&p, 1, CoreConfig::out_of_order(), xeon_memory());
+        let mut cfg = CoreConfig::out_of_order();
+        cfg.alias_speculation = spec;
+        (name.to_string(), run_spmd(&p, 1, cfg, xeon_memory()))
+    });
+    tally(&mut total, &sweep);
+    for pair in sweep.points.chunks(2) {
+        let (off, on) = (&pair[0].report, &pair[1].report);
         println!(
             "   {:<14} off {:>10}  on {:>10}  gain {:>5.2}x",
-            name,
+            pair[0].label,
             off.cycles,
             on.cycles,
             off.cycles as f64 / on.cycles as f64
@@ -76,45 +110,58 @@ fn main() {
 
     println!("\n4. Branch speculation mode (paper §III-C; Bimodal is the");
     println!("   dynamic predictor the paper lists as future work):");
-    for mode in [
+    let modes = [
         BranchMode::None,
         BranchMode::Static,
         BranchMode::Bimodal,
         BranchMode::Perfect,
-    ] {
+    ];
+    let sweep = run_sweep(&modes, |&mode| {
         let p = build_parboil("spmv", 1);
         let mut cfg = CoreConfig::out_of_order();
         cfg.branch = mode;
-        let r = run_spmd(&p, 1, cfg, xeon_memory());
+        (format!("{mode:?}"), run_spmd(&p, 1, cfg, xeon_memory()))
+    });
+    tally(&mut total, &sweep);
+    for point in &sweep.points {
         println!(
-            "   {:<8?} {:>10} cycles  ({} mispredicts)",
-            mode,
-            r.cycles,
-            r.tiles[0].mispredicts
+            "   {:<8} {:>10} cycles  ({} mispredicts)",
+            point.label,
+            point.report.cycles,
+            point.report.tiles[0].mispredicts
         );
     }
 
     println!("\n5. MSHR capacity (paper §V-A):");
-    for entries in [1usize, 4, 16, 64] {
+    let entries = [1usize, 4, 16, 64];
+    let sweep = run_sweep(&entries, |&entries| {
         let p = build_parboil("spmv", 1);
         let cfg = HierarchyConfig {
             mshr_entries: entries,
             ..xeon_memory()
         };
-        let r = run_spmd(&p, 1, CoreConfig::out_of_order(), cfg);
-        println!("   {entries:>3} entries {:>10} cycles", r.cycles);
+        (entries.to_string(), run_spmd(&p, 1, CoreConfig::out_of_order(), cfg))
+    });
+    tally(&mut total, &sweep);
+    for point in &sweep.points {
+        println!("   {:>3} entries {:>10} cycles", point.label, point.report.cycles);
     }
 
     println!("\n6. Pre-RTL accelerator tile: live-DBB limit as hardware loop");
     println!("   unrolling (paper §IV / §III-A):");
-    for unroll in [1u32, 2, 4, 8, 16] {
+    let unrolls = [1u32, 2, 4, 8, 16];
+    let sweep = run_sweep(&unrolls, |&unroll| {
         let p = build_parboil("stencil", 1);
-        let r = run_spmd(&p, 1, CoreConfig::accelerator(unroll), xeon_memory());
-        println!("   unroll {unroll:>2}: {:>10} cycles", r.cycles);
+        (unroll.to_string(), run_spmd(&p, 1, CoreConfig::accelerator(unroll), xeon_memory()))
+    });
+    tally(&mut total, &sweep);
+    for point in &sweep.points {
+        println!("   unroll {:>2}: {:>10} cycles", point.label, point.report.cycles);
     }
 
     println!("\n7. Mesh NoC hop latency (paper §V-A future work; 0 = ideal):");
-    for hop in [0u64, 2, 8] {
+    let hops = [0u64, 2, 8];
+    let sweep = run_sweep(&hops, |&hop| {
         let p = build_parboil("spmv", 1);
         let cfg = HierarchyConfig {
             noc: (hop > 0).then_some(mosaic_mem::NocConfig {
@@ -123,7 +170,18 @@ fn main() {
             }),
             ..xeon_memory()
         };
-        let r = run_spmd(&p, 4, CoreConfig::out_of_order(), cfg);
-        println!("   {hop:>2} cyc/hop: {:>10} cycles (4 tiles)", r.cycles);
+        (hop.to_string(), run_spmd(&p, 4, CoreConfig::out_of_order(), cfg))
+    });
+    tally(&mut total, &sweep);
+    for point in &sweep.points {
+        println!("   {:>2} cyc/hop: {:>10} cycles (4 tiles)", point.label, point.report.cycles);
     }
+
+    let (cycles, instrs, wall) = total;
+    println!(
+        "\n[ablations: {:.2}M sim-cycles/s, {:.3} MIPS aggregate over {:.2}s of sweeps]",
+        cycles as f64 / wall / 1e6,
+        instrs as f64 / wall / 1e6,
+        wall
+    );
 }

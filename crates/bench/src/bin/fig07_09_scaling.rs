@@ -6,15 +6,42 @@
 //! Expected shapes (paper §VI-A): SGEMM scales near-linearly; SPMV scales
 //! sublinearly as DRAM bandwidth throttles; BFS scales worst because of
 //! its atomic read-modify-writes.
+//!
+//! All 24 simulations of the grid are independent, so they run through
+//! the parallel [`run_sweep`] harness; the footer line reports the
+//! harness's aggregate simulation throughput.
 
-use mosaic_bench::run_spmd;
+use mosaic_bench::{run_spmd, run_sweep};
 use mosaic_core::xeon_memory;
 use mosaic_kernels::build_parboil;
 use mosaic_tile::CoreConfig;
 
 fn main() {
     let threads = [1usize, 2, 4, 8];
-    for (fig, name, scale) in [("Fig. 7", "bfs", 2), ("Fig. 8", "sgemm", 1), ("Fig. 9", "spmv", 4)] {
+    let figs = [("Fig. 7", "bfs", 2u32), ("Fig. 8", "sgemm", 1), ("Fig. 9", "spmv", 4)];
+
+    // Grid point: (kernel, scale, threads, use reference model).
+    let mut points = Vec::new();
+    for &(_, name, scale) in &figs {
+        for &t in &threads {
+            for reference in [false, true] {
+                points.push((name, scale, t, reference));
+            }
+        }
+    }
+    let sweep = run_sweep(&points, |&(name, scale, t, reference)| {
+        let p = build_parboil(name, scale);
+        let core = if reference {
+            CoreConfig::x86_reference()
+        } else {
+            CoreConfig::out_of_order()
+        };
+        (format!("{name}/{t}t/{}", if reference { "ref" } else { "mosaic" }),
+         run_spmd(&p, t, core, xeon_memory()))
+    });
+
+    let mut rows = sweep.points.iter();
+    for (fig, name, _) in figs {
         println!("{fig} — {name} scaling (speedup over 1 thread)");
         println!(
             "{:>8} {:>12} {:>10} {:>12} {:>10}",
@@ -23,10 +50,8 @@ fn main() {
         let mut base_m = 0f64;
         let mut base_r = 0f64;
         for &t in &threads {
-            let p = build_parboil(name, scale);
-            let m = run_spmd(&p, t, CoreConfig::out_of_order(), xeon_memory());
-            let p = build_parboil(name, scale);
-            let r = run_spmd(&p, t, CoreConfig::x86_reference(), xeon_memory());
+            let m = &rows.next().expect("grid row").report;
+            let r = &rows.next().expect("grid row").report;
             if t == 1 {
                 base_m = m.cycles as f64;
                 base_r = r.cycles as f64;
@@ -43,4 +68,5 @@ fn main() {
         }
         println!();
     }
+    println!("{}", sweep.summary());
 }

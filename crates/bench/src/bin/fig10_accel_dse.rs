@@ -8,8 +8,12 @@
 //! model against RTL-level simulation (paper: 97–100%) and against
 //! full-system FPGA emulation (paper: 89–93%).
 
-use mosaic_accel::{analytic_estimate, fpga_cycles, rtl_cycles, AccelConfig};
+use mosaic_accel::{analytic_estimate, fpga_cycles, rtl_cycles, AccelBank, AccelConfig};
+use mosaic_bench::{run_sweep, run_with_accel};
+use mosaic_core::dae_memory;
 use mosaic_ir::AccelOp;
+use mosaic_kernels::sinkhorn;
+use mosaic_tile::CoreConfig;
 
 /// `(accelerator, workload builder)` — workload sizes are chosen so the
 /// *input footprint* matches the paper's 256 KB / 1 MB / 4 MB / 16 MB.
@@ -86,4 +90,25 @@ fn main() {
         println!("{:<16} {:>11.0}% {:>13.0}%", accel.name(), r * 100.0, f * 100.0);
     }
     println!("(paper: matmul 99%/90%, histo 99%/93%, elementwise 97%/89%)");
+
+    // Full-system check of the DSE trend: the SGEMM accelerator invoked
+    // from an OoO host, one simulation per PLM size, run through the
+    // parallel sweep harness.
+    println!("\nFig. 10 (system) — SGEMM accelerator in-system, cycles per PLM size");
+    let sweep = run_sweep(&plms, |&plm| {
+        let p = sinkhorn::accel_sgemm_micro(1);
+        let mut bank = AccelBank::new();
+        bank.configure(AccelOp::Sgemm, AccelConfig::default().with_plm_bytes(plm));
+        (format!("{}KB", plm / 1024),
+         run_with_accel(&p, CoreConfig::out_of_order(), dae_memory(), bank))
+    });
+    for point in &sweep.points {
+        println!(
+            "{:>8} {:>12} cycles  ({} accel invocations)",
+            point.label,
+            point.report.cycles,
+            point.report.tiles[0].accel_invocations
+        );
+    }
+    println!("{}", sweep.summary());
 }

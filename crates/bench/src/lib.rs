@@ -24,7 +24,9 @@
 
 #![warn(missing_docs)]
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use mosaic_core::{record_trace, EnergyModel, SimError, SimReport, SystemBuilder};
 use mosaic_ir::TileProgram;
@@ -133,6 +135,118 @@ pub fn run_dae_pairs(
     builder.run()
 }
 
+/// One completed point of a [`run_sweep`] call.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Label the job function returned for this point.
+    pub label: String,
+    /// The simulation report.
+    pub report: SimReport,
+    /// Wall-clock seconds this point took on its worker thread.
+    pub wall_secs: f64,
+}
+
+impl SweepPoint {
+    /// Simulated cycles per wall-clock second for this point.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        self.report.cycles as f64 / self.wall_secs
+    }
+
+    /// Retired instructions per wall-clock second for this point.
+    pub fn instrs_per_sec(&self) -> f64 {
+        self.report.total_retired as f64 / self.wall_secs
+    }
+}
+
+/// Result of a [`run_sweep`] call: the per-point reports in input order
+/// plus aggregate simulator-throughput figures for the whole sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// One entry per input point, in input order.
+    pub points: Vec<SweepPoint>,
+    /// Wall-clock seconds for the entire sweep (all workers).
+    pub wall_secs: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl Sweep {
+    /// Aggregate simulated cycles per wall-clock second across the sweep.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        self.points.iter().map(|p| p.report.cycles).sum::<u64>() as f64 / self.wall_secs
+    }
+
+    /// Aggregate retired instructions per wall-clock second.
+    pub fn instrs_per_sec(&self) -> f64 {
+        self.points.iter().map(|p| p.report.total_retired).sum::<u64>() as f64 / self.wall_secs
+    }
+
+    /// One-line throughput summary for figure binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "[sweep: {} sims on {} threads in {:.2}s — {:.2}M sim-cycles/s, {:.3} MIPS aggregate]",
+            self.points.len(),
+            self.threads,
+            self.wall_secs,
+            self.sim_cycles_per_sec() / 1e6,
+            self.instrs_per_sec() / 1e6
+        )
+    }
+}
+
+/// Runs one simulation per point of `points` across all available cores
+/// and returns the reports in input order.
+///
+/// This is the parallel sweep harness the figure binaries use: sweeps are
+/// embarrassingly parallel (every [`SystemBuilder`] run is independent),
+/// so points are distributed over `std::thread::available_parallelism()`
+/// workers via an atomic work index. `job` maps a point to a
+/// `(label, report)` pair and must be callable from any thread.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (harness code).
+pub fn run_sweep<T, F>(points: &[T], job: F) -> Sweep
+where
+    T: Sync,
+    F: Fn(&T) -> (String, SimReport) + Sync,
+{
+    let n = points.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepPoint>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let t0 = Instant::now();
+                let (label, report) = job(&points[i]);
+                let point = SweepPoint {
+                    label,
+                    report,
+                    wall_secs: t0.elapsed().as_secs_f64(),
+                };
+                *slots[i].lock().expect("sweep slot") = Some(point);
+            });
+        }
+    });
+    Sweep {
+        points: slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("sweep slot").expect("worker filled slot"))
+            .collect(),
+        wall_secs: start.elapsed().as_secs_f64(),
+        threads,
+    }
+}
+
 /// Geometric mean of a set of positive factors.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -176,5 +290,28 @@ mod tests {
         let r = run_spmd(&p, 2, CoreConfig::out_of_order(), mosaic_core::small_memory());
         assert!(r.cycles > 0);
         assert_eq!(r.tiles.len(), 2);
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_matches_serial() {
+        let points = [("histo", 1usize), ("bfs", 1), ("histo", 2)];
+        let job = |&(name, tiles): &(&str, usize)| {
+            let p = mosaic_kernels::build_parboil(name, 1);
+            let r = run_spmd(&p, tiles, CoreConfig::out_of_order(), mosaic_core::small_memory());
+            (format!("{name}/{tiles}t"), r)
+        };
+        let sweep = run_sweep(&points, job);
+        assert_eq!(sweep.points.len(), points.len());
+        assert!(sweep.threads >= 1);
+        for (point, expect) in sweep.points.iter().zip(&points) {
+            assert_eq!(point.label, format!("{}/{}t", expect.0, expect.1));
+            let serial = job(expect).1;
+            assert_eq!(point.report.cycles, serial.cycles, "{}", point.label);
+            assert_eq!(point.report.total_retired, serial.total_retired);
+            assert!(point.sim_cycles_per_sec() > 0.0);
+            assert!(point.instrs_per_sec() > 0.0);
+        }
+        assert!(sweep.sim_cycles_per_sec() > 0.0);
+        assert!(!sweep.summary().is_empty());
     }
 }

@@ -13,8 +13,8 @@
 //! the [`ChannelSet`]; accelerator invocations dispatch to the configured
 //! [`AccelSim`] (paper §IV-A).
 
-use mosaic_mem::MemoryHierarchy;
-use mosaic_tile::{AccelSim, ChannelSet, Tile, TileCtx};
+use mosaic_mem::{Completion, MemoryHierarchy};
+use mosaic_tile::{AccelSim, ChannelSet, Horizon, Tile, TileCtx};
 
 /// Errors produced by a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +51,28 @@ pub struct Interleaver {
     accel: Box<dyn AccelSim>,
     cycle_limit: u64,
     now: u64,
+    fast_forward: bool,
+    /// Tiles that have finished (kept as a running count so the per-cycle
+    /// done check is O(1) instead of a scan over all tiles).
+    finished: usize,
+    /// Reused completion-delivery buffer (avoids a per-cycle allocation).
+    completion_buf: Vec<Completion>,
+    /// Whether the last `step` did no observable work (no completions
+    /// delivered, no tile counter advanced). Purely a heuristic gate for
+    /// when to attempt a skip: skipping is identity-preserving whenever
+    /// invoked, so a wrong value costs performance, never correctness.
+    quiet: bool,
+    /// Cycles actually stepped (diagnostics; compare against `now`).
+    steps_executed: u64,
+    /// Cycles jumped over by the fast-forward scheduler (diagnostics).
+    cycles_skipped: u64,
+    /// Fast-forward jumps taken (diagnostics).
+    skips_taken: u64,
+}
+
+/// Smallest multiple of `d` that is `>= x`.
+fn align_up(x: u64, d: u64) -> u64 {
+    x.div_ceil(d) * d
 }
 
 impl std::fmt::Debug for Interleaver {
@@ -71,6 +93,7 @@ impl Interleaver {
         channels: ChannelSet,
         accel: Box<dyn AccelSim>,
     ) -> Self {
+        let finished = tiles.iter().filter(|t| t.is_done()).count();
         Interleaver {
             tiles,
             mem,
@@ -78,12 +101,48 @@ impl Interleaver {
             accel,
             cycle_limit: 2_000_000_000,
             now: 0,
+            fast_forward: true,
+            finished,
+            completion_buf: Vec::new(),
+            quiet: false,
+            steps_executed: 0,
+            cycles_skipped: 0,
+            skips_taken: 0,
         }
+    }
+
+    /// Cycles actually stepped so far (fast-forward diagnostics).
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
+    /// Cycles jumped over by fast-forwarding so far.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    /// Fast-forward jumps taken so far.
+    pub fn skips_taken(&self) -> u64 {
+        self.skips_taken
     }
 
     /// Sets the runaway-protection cycle cap.
     pub fn set_cycle_limit(&mut self, limit: u64) {
         self.cycle_limit = limit;
+    }
+
+    /// Enables or disables event-horizon fast-forwarding in [`Self::run`]
+    /// (on by default). Fast-forwarding skips cycles in which provably no
+    /// tile or memory event can occur; results are bit-identical to the
+    /// naive cycle-by-cycle stepper, so disabling it is only useful for
+    /// differential testing and for debugging with per-cycle stepping.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Whether event-horizon fast-forwarding is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
     }
 
     /// The current global cycle.
@@ -110,7 +169,9 @@ impl Interleaver {
     pub fn step(&mut self) -> bool {
         let now = self.now;
         self.mem.step(now);
-        for c in self.mem.drain_completions() {
+        self.mem.drain_completions_into(&mut self.completion_buf);
+        let mut progress = !self.completion_buf.is_empty();
+        for c in self.completion_buf.drain(..) {
             if let Some(tile) = self.tiles.get_mut(c.tile) {
                 tile.on_mem_completion(c.id, now);
             }
@@ -122,6 +183,7 @@ impl Interleaver {
             if !now.is_multiple_of(tile.clock_divisor()) {
                 continue;
             }
+            let mark = tile.progress_mark();
             let mut ctx = TileCtx {
                 now,
                 mem: &mut self.mem,
@@ -129,28 +191,112 @@ impl Interleaver {
                 accel: self.accel.as_mut(),
             };
             tile.step(&mut ctx);
+            progress |= tile.progress_mark() != mark;
+            if tile.is_done() {
+                self.finished += 1;
+            }
         }
+        self.quiet = !progress;
+        self.steps_executed += 1;
         self.now += 1;
-        self.tiles.iter().all(|t| t.is_done())
+        self.finished == self.tiles.len()
+    }
+
+    /// Jumps `now` forward to the next cycle at which any tile or the
+    /// memory hierarchy can make progress (the *event horizon*), crediting
+    /// each skipped tile with the stall counters it would have accumulated.
+    /// A no-op when some tile is ready on the very next cycle.
+    ///
+    /// The jump target is the minimum over (a) each unfinished tile's next
+    /// event, aligned up to its clock divisor — exactly the next cycle the
+    /// naive stepper would have stepped it with that event visible; (b)
+    /// the memory hierarchy's next internal event; and (c) the cycle cap,
+    /// so a deadlock produces the identical [`SimError::CycleLimit`].
+    /// Because no event of any kind lies in `[now, target)`, the naive
+    /// stepper would have executed those cycles as pure no-ops except for
+    /// per-cycle stall counters, which [`Tile::on_cycles_skipped`]
+    /// restores — keeping cycle counts, per-tile stats, and energy
+    /// bit-identical between both modes.
+    fn skip_to_horizon(&mut self) {
+        let now = self.now;
+        let mut target = self.cycle_limit;
+        for tile in &self.tiles {
+            if tile.is_done() {
+                continue;
+            }
+            let div = tile.clock_divisor().max(1);
+            let wake = match tile.next_event(now, &self.channels) {
+                Horizon::Ready => align_up(now, div),
+                Horizon::At(c) => align_up(c.max(now), div),
+                Horizon::Blocked => continue,
+            };
+            target = target.min(wake);
+            if target <= now {
+                return;
+            }
+        }
+        if let Some(e) = self.mem.next_event_cycle(now) {
+            target = target.min(e.max(now));
+        }
+        if target <= now {
+            return;
+        }
+        for tile in &mut self.tiles {
+            if tile.is_done() {
+                continue;
+            }
+            let div = tile.clock_divisor().max(1);
+            let skipped = target.div_ceil(div).saturating_sub(now.div_ceil(div));
+            if skipped > 0 {
+                tile.on_cycles_skipped(now, skipped, &self.channels);
+            }
+        }
+        self.cycles_skipped += target - now;
+        self.skips_taken += 1;
+        self.now = target;
+    }
+
+    fn cycle_limit_error(&self) -> SimError {
+        SimError::CycleLimit {
+            limit: self.cycle_limit,
+            unfinished: self
+                .tiles
+                .iter()
+                .filter(|t| !t.is_done())
+                .map(|t| t.name().to_string())
+                .collect(),
+        }
     }
 
     /// Runs until every tile drains, returning the completion cycle.
+    ///
+    /// With fast-forwarding enabled (the default) the run skips over
+    /// provably event-free cycle spans; see [`Self::set_fast_forward`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError::CycleLimit`] if the cap is hit first.
     pub fn run(&mut self) -> Result<u64, SimError> {
+        let mut just_skipped = false;
         while !self.step() {
             if self.now >= self.cycle_limit {
-                return Err(SimError::CycleLimit {
-                    limit: self.cycle_limit,
-                    unfinished: self
-                        .tiles
-                        .iter()
-                        .filter(|t| !t.is_done())
-                        .map(|t| t.name().to_string())
-                        .collect(),
-                });
+                return Err(self.cycle_limit_error());
+            }
+            // Only pay for a horizon survey when a multi-cycle stall span
+            // is plausible: after a cycle that did no observable work, or
+            // right after a wake step while in a stall-dominated phase
+            // (saving the one quiet step per span the first rule costs).
+            // In busy phases the next step is productive anyway, so
+            // surveying every cycle would be pure overhead.
+            if self.fast_forward && (self.quiet || just_skipped) {
+                let before = self.now;
+                self.skip_to_horizon();
+                just_skipped = self.now != before;
+                if self.now >= self.cycle_limit {
+                    return Err(self.cycle_limit_error());
+                }
+            } else {
+                just_skipped = false;
             }
         }
         // The completion cycle is the latest tile finish time.

@@ -137,6 +137,7 @@ pub struct SystemBuilder {
     accel: Option<Box<dyn AccelSim>>,
     energy: EnergyModel,
     cycle_limit: u64,
+    fast_forward: bool,
 }
 
 impl fmt::Debug for SystemBuilder {
@@ -159,7 +160,15 @@ impl SystemBuilder {
             accel: None,
             energy: EnergyModel::default(),
             cycle_limit: 2_000_000_000,
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables the Interleaver's event-horizon fast-forward
+    /// scheduler (on by default; results are bit-identical either way).
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
     }
 
     /// Sets the memory hierarchy configuration.
@@ -226,6 +235,7 @@ impl SystemBuilder {
             .collect();
         let mut il = Interleaver::new(tiles, mem, channels, accel);
         il.set_cycle_limit(self.cycle_limit);
+        il.set_fast_forward(self.fast_forward);
         il
     }
 

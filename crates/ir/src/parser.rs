@@ -633,14 +633,16 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod roundtrip_tests {
+    //! Deterministic generated-kernel round-trip checks (formerly
+    //! proptest): print -> parse must be a fixed point that preserves
+    //! semantics.
     use super::*;
     use crate::builder::FunctionBuilder;
     use crate::inst::{BinOp, IntPredicate, Intrinsic};
     use crate::interp::NullSink;
     use crate::mem_image::{MemImage, RtVal};
     use crate::printer::print_module;
-    use proptest::prelude::*;
 
     /// A recipe for one instruction inside the generated kernel body.
     #[derive(Debug, Clone)]
@@ -652,19 +654,35 @@ mod proptests {
         LoadStore,
     }
 
-    fn recipe() -> impl Strategy<Value = OpRecipe> {
-        prop_oneof![
-            any::<u8>().prop_map(OpRecipe::Add),
-            any::<u8>().prop_map(OpRecipe::Mul),
-            any::<u8>().prop_map(OpRecipe::Xor),
-            any::<u8>().prop_map(OpRecipe::Min),
-            Just(OpRecipe::LoadStore),
-        ]
+    /// SplitMix64 — a tiny seeded generator for recipe sampling.
+    struct TestRng(u64);
+    impl TestRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, bound: u64) -> u64 {
+            ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
+    fn recipe(r: &mut TestRng) -> OpRecipe {
+        let k = r.below(256) as u8;
+        match r.below(5) {
+            0 => OpRecipe::Add(k),
+            1 => OpRecipe::Mul(k),
+            2 => OpRecipe::Xor(k),
+            3 => OpRecipe::Min(k),
+            _ => OpRecipe::LoadStore,
+        }
     }
 
     /// Builds a random-but-valid kernel: a counted loop whose body applies
     /// the recipes to a running value and optionally touches memory.
-    fn build(recipes: &[OpRecipe], n: i64) -> (Module, crate::ids::FuncId) {
+    fn build(recipes: &[OpRecipe]) -> (Module, crate::ids::FuncId) {
         let mut m = Module::new("gen");
         let f = m.add_function(
             "k",
@@ -717,7 +735,6 @@ mod proptests {
         b.switch_to(exit);
         b.ret(Some(acc));
         crate::verify::verify_module(&m).unwrap();
-        let _ = n;
         (m, f)
     }
 
@@ -735,25 +752,24 @@ mod proptests {
         (out.returns[0], out.mem.read_i64_slice(p, 8))
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// print -> parse is a fixed point AND the parsed module computes
-        /// the same result (return value + memory effects) as the original.
-        #[test]
-        fn print_parse_preserves_semantics(
-            recipes in proptest::collection::vec(recipe(), 1..8),
-            n in 1i64..24,
-        ) {
-            let (m, f) = build(&recipes, n);
+    /// print -> parse is a fixed point AND the parsed module computes
+    /// the same result (return value + memory effects) as the original.
+    #[test]
+    fn print_parse_preserves_semantics() {
+        let mut rng = TestRng(42);
+        for _case in 0..48 {
+            let len = 1 + rng.below(7) as usize;
+            let recipes: Vec<OpRecipe> = (0..len).map(|_| recipe(&mut rng)).collect();
+            let n = 1 + rng.below(23) as i64;
+            let (m, f) = build(&recipes);
             let text = print_module(&m);
             let m2 = parse_module(&text).expect("generated IR reparses");
-            prop_assert_eq!(print_module(&m2), text, "printer fixed point");
+            assert_eq!(print_module(&m2), text, "printer fixed point");
             let f2 = m2.function_by_name("k").expect("kernel present");
             let (r1, mem1) = run(&m, f, n);
             let (r2, mem2) = run(&m2, f2, n);
-            prop_assert_eq!(r1, r2);
-            prop_assert_eq!(mem1, mem2);
+            assert_eq!(r1, r2);
+            assert_eq!(mem1, mem2);
         }
     }
 }

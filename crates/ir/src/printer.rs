@@ -244,7 +244,7 @@ mod tests {
         assert!(text.contains("gep"));
         assert!(text.contains("load i32"));
         assert!(text.contains("condbr"));
-        assert_eq!(text.matches("bb").count() > 4, true);
+        assert!(text.matches("bb").count() > 4);
         let _ = IntPredicate::Slt;
     }
 }

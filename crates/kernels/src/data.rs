@@ -2,35 +2,78 @@
 //!
 //! All generators are seeded so traces (and therefore simulations) are
 //! bit-reproducible across runs — a requirement for regression-testing
-//! the reproduction figures.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! the reproduction figures. The generators use a self-contained
+//! SplitMix64 PRNG so the crate builds with no external dependencies.
 
 /// The fixed seed used by every generator (deterministic reproduction).
 pub const SEED: u64 = 0x4d6f_7361_6963; // "Mosaic"
 
+/// A small deterministic PRNG (SplitMix64, Steele et al. 2014).
+///
+/// Statistical quality is more than sufficient for workload synthesis,
+/// and the generator is endian- and platform-independent, keeping every
+/// figure bit-reproducible.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform float in `[0, 1)` with 24 bits of precision.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// A uniform integer in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift range reduction (Lemire); the tiny modulo bias
+        // of plain `% bound` is avoided without rejection sampling.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive).
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+}
+
 /// A seeded RNG for workload generation.
-pub fn rng() -> StdRng {
-    StdRng::seed_from_u64(SEED)
+pub fn rng() -> Rng {
+    Rng::seed_from_u64(SEED)
 }
 
 /// A seeded RNG with a caller-provided stream id (distinct sequences for
 /// distinct inputs of one kernel).
-pub fn rng_stream(stream: u64) -> StdRng {
-    StdRng::seed_from_u64(SEED ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+pub fn rng_stream(stream: u64) -> Rng {
+    Rng::seed_from_u64(SEED ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
 /// `n` uniform floats in `[0, 1)`.
 pub fn f32_vec(n: usize, stream: u64) -> Vec<f32> {
     let mut r = rng_stream(stream);
-    (0..n).map(|_| r.gen::<f32>()).collect()
+    (0..n).map(|_| r.next_f32()).collect()
 }
 
 /// `n` uniform ints in `[0, bound)`.
 pub fn i32_vec(n: usize, bound: i32, stream: u64) -> Vec<i32> {
     let mut r = rng_stream(stream);
-    (0..n).map(|_| r.gen_range(0..bound)).collect()
+    (0..n).map(|_| r.below(bound as u64) as i32).collect()
 }
 
 /// A sparse matrix in compressed-sparse-row form.
@@ -63,13 +106,13 @@ pub fn random_csr(rows: usize, cols: usize, nnz_per_row: usize, stream: u64) -> 
     let mut values = Vec::new();
     row_ptr.push(0);
     for _ in 0..rows {
-        let k = r.gen_range(1..=nnz_per_row.max(1) * 2).min(cols);
-        let mut cols_in_row: Vec<i32> = (0..k).map(|_| r.gen_range(0..cols as i32)).collect();
+        let k = (r.range_inclusive(1, (nnz_per_row.max(1) * 2) as u64) as usize).min(cols);
+        let mut cols_in_row: Vec<i32> = (0..k).map(|_| r.below(cols as u64) as i32).collect();
         cols_in_row.sort_unstable();
         cols_in_row.dedup();
         for c in cols_in_row {
             col_idx.push(c);
-            values.push(r.gen::<f32>());
+            values.push(r.next_f32());
         }
         row_ptr.push(col_idx.len() as i32);
     }
@@ -107,9 +150,9 @@ pub fn random_graph(nodes: usize, avg_degree: usize, stream: u64) -> Graph {
     let mut edges = Vec::new();
     offsets.push(0);
     for _ in 0..nodes {
-        let d = r.gen_range(1..=avg_degree.max(1) * 2);
+        let d = r.range_inclusive(1, (avg_degree.max(1) * 2) as u64);
         for _ in 0..d {
-            edges.push(r.gen_range(0..nodes as i32));
+            edges.push(r.below(nodes as u64) as i32);
         }
         offsets.push(edges.len() as i32);
     }
@@ -141,9 +184,9 @@ pub fn random_bipartite(u_nodes: usize, v_nodes: usize, avg_degree: usize, strea
     let mut edges = Vec::new();
     offsets.push(0);
     for _ in 0..u_nodes {
-        let d = r.gen_range(1..=avg_degree.max(1) * 2);
+        let d = r.range_inclusive(1, (avg_degree.max(1) * 2) as u64);
         for _ in 0..d {
-            edges.push(r.gen_range(0..v_nodes as i32));
+            edges.push(r.below(v_nodes as u64) as i32);
         }
         offsets.push(edges.len() as i32);
     }
@@ -162,9 +205,9 @@ pub fn point_cloud(n: usize, stream: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
     let mut ys = Vec::with_capacity(n);
     let mut zs = Vec::with_capacity(n);
     for _ in 0..n {
-        xs.push(r.gen::<f32>());
-        ys.push(r.gen::<f32>());
-        zs.push(r.gen::<f32>());
+        xs.push(r.next_f32());
+        ys.push(r.next_f32());
+        zs.push(r.next_f32());
     }
     (xs, ys, zs)
 }
@@ -212,5 +255,11 @@ mod tests {
     fn bounded_ints_respect_bound() {
         let v = i32_vec(100, 7, 9);
         assert!(v.iter().all(|&x| (0..7).contains(&x)));
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let v = f32_vec(1000, 3);
+        assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
     }
 }

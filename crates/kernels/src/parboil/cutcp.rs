@@ -128,7 +128,7 @@ mod tests {
         let mut rec = mosaic_trace::TraceRecorder::new(1);
         let out = run_tiles(&p.module, p.mem.clone(), &p.programs(1), &mut rec).unwrap();
         let pot = out.mem.read_f32_slice(p.args[4].as_int() as u64, grid);
-        for g in 0..grid {
+        for (g, &pg) in pot.iter().enumerate() {
             let inv = g as f32 * 0.001;
             let (gx, gy, gz) = (inv, inv * 0.5, inv * 0.25);
             let mut acc = 0f32;
@@ -138,7 +138,7 @@ mod tests {
                     acc += q[a] / (d2 + 1e-6).sqrt();
                 }
             }
-            assert!((acc - pot[g]).abs() < 2e-2, "g={g}: {acc} vs {}", pot[g]);
+            assert!((acc - pg).abs() < 2e-2, "g={g}: {acc} vs {pg}");
         }
     }
 }

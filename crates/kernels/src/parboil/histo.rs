@@ -91,6 +91,6 @@ mod tests {
             *e = (*e + 1).min(255);
         }
         assert_eq!(hist, expected);
-        assert_eq!(hist.iter().copied().max().unwrap() <= 255, true);
+        assert!(hist.iter().copied().max().unwrap() <= 255);
     }
 }

@@ -108,12 +108,12 @@ mod tests {
         let mut rec = mosaic_trace::TraceRecorder::new(1);
         let out = run_tiles(&p.module, p.mem.clone(), &p.programs(1), &mut rec).unwrap();
         let y = out.mem.read_f32_slice(p.args[4].as_int() as u64, rows);
-        for i in 0..rows {
+        for (i, &yi) in y.iter().enumerate() {
             let mut acc = 0f32;
             for j in csr.row_ptr[i] as usize..csr.row_ptr[i + 1] as usize {
                 acc += csr.values[j] * x[csr.col_idx[j] as usize];
             }
-            assert!((acc - y[i]).abs() < 1e-3, "row {i}: {acc} vs {}", y[i]);
+            assert!((acc - yi).abs() < 1e-3, "row {i}: {acc} vs {yi}");
         }
     }
 }

@@ -186,6 +186,27 @@ impl BankedDram {
         self.in_flight.is_empty() && self.banks.iter().all(|b| b.queue.is_empty())
     }
 
+    /// Earliest cycle `>= now` at which a step could make progress: an
+    /// in-flight transfer retires, or a bank with queued requests becomes
+    /// free to schedule one (a bank that is already free schedules on the
+    /// very next step). `None` when fully idle.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut note = |t: u64| {
+            let t = t.max(now);
+            best = Some(best.map_or(t, |b| b.min(t)));
+        };
+        for &(ready, _) in &self.in_flight {
+            note(ready);
+        }
+        for bank in &self.banks {
+            if !bank.queue.is_empty() {
+                note(bank.busy_until);
+            }
+        }
+        best
+    }
+
     /// Row-buffer hit count.
     pub fn row_hits(&self) -> u64 {
         self.row_hits

@@ -595,6 +595,41 @@ impl MemoryHierarchy {
         std::mem::take(&mut self.completions)
     }
 
+    /// Moves all completions produced so far into `buf` (cleared first).
+    /// Allocation-free variant of [`Self::drain_completions`] for callers
+    /// that poll every cycle with a reusable buffer.
+    pub fn drain_completions_into(&mut self, buf: &mut Vec<Completion>) {
+        buf.clear();
+        buf.append(&mut self.completions);
+    }
+
+    /// Earliest cycle `>= now` at which the hierarchy has internal work:
+    /// a scheduled cache/NoC event, a DRAM completion or bank issue
+    /// opportunity, or an undelivered completion. `None` when fully idle
+    /// (then only new requests can create work). Used by the Interleaver's
+    /// fast-forward scheduler; stepping the hierarchy at cycles strictly
+    /// before the returned cycle is guaranteed to be a no-op.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut note = |t: u64| {
+            let t = t.max(now);
+            best = Some(best.map_or(t, |b| b.min(t)));
+        };
+        if !self.completions.is_empty() {
+            note(now);
+        }
+        if let Some(Reverse((cycle, _, _))) = self.events.peek() {
+            note(*cycle);
+        }
+        if let Some(e) = self.dram_simple.as_ref().and_then(|d| d.next_event_cycle(now)) {
+            note(e);
+        }
+        if let Some(e) = self.dram_banked.as_ref().and_then(|d| d.next_event_cycle(now)) {
+            note(e);
+        }
+        best
+    }
+
     /// Whether no requests are outstanding anywhere.
     pub fn is_idle(&self) -> bool {
         let dram_idle = self

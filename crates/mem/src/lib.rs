@@ -52,41 +52,75 @@ pub use req::{AccessKind, Completion, MemReq, ReqId};
 pub use simple_dram::{SimpleDram, SimpleDramConfig};
 
 #[cfg(test)]
-mod proptests {
+mod invariant_tests {
+    //! Deterministic pseudo-random invariant checks (formerly proptest;
+    //! rewritten against a fixed-seed generator so the crate has no
+    //! external dev-dependencies).
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// The cache never reports more hits+misses than accesses and the
-        /// miss ratio is always within [0, 1].
-        #[test]
-        fn cache_counter_invariants(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+    /// SplitMix64 — a tiny seeded generator for the invariant sweeps.
+    struct TestRng(u64);
+    impl TestRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, bound: u64) -> u64 {
+            ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
+    fn addr_vec(r: &mut TestRng, max_len: usize, bound: u64) -> Vec<u64> {
+        let len = 1 + r.below(max_len as u64 - 1) as usize;
+        (0..len).map(|_| r.below(bound)).collect()
+    }
+
+    /// The cache never reports more hits+misses than accesses and the
+    /// miss ratio is always within [0, 1].
+    #[test]
+    fn cache_counter_invariants() {
+        let mut r = TestRng(1);
+        for _case in 0..32 {
+            let addrs = addr_vec(&mut r, 200, 1_000_000);
             let mut c = Cache::new(CacheConfig::new("p", 4096).with_ways(4));
             for a in &addrs {
                 match c.access(*a, a % 3 == 0) {
-                    LookupResult::Miss => { c.fill(*a, a % 3 == 0); }
+                    LookupResult::Miss => {
+                        c.fill(*a, a % 3 == 0);
+                    }
                     LookupResult::Hit => {}
                 }
             }
-            prop_assert_eq!(c.hits() + c.misses(), c.accesses());
-            prop_assert!((0.0..=1.0).contains(&c.miss_ratio()));
+            assert_eq!(c.hits() + c.misses(), c.accesses());
+            assert!((0.0..=1.0).contains(&c.miss_ratio()));
         }
+    }
 
-        /// After filling a line it is always resident until evicted or
-        /// invalidated — probing immediately after a fill must hit.
-        #[test]
-        fn fill_makes_resident(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+    /// After filling a line it is always resident until evicted or
+    /// invalidated — probing immediately after a fill must hit.
+    #[test]
+    fn fill_makes_resident() {
+        let mut r = TestRng(2);
+        for _case in 0..32 {
+            let addrs = addr_vec(&mut r, 200, 1_000_000);
             let mut c = Cache::new(CacheConfig::new("p", 2048).with_ways(2));
             for a in &addrs {
                 c.fill(*a, false);
-                prop_assert!(c.probe(*a));
+                assert!(c.probe(*a));
             }
         }
+    }
 
-        /// A cache of N ways per set holds at most N distinct lines of the
-        /// same set at once: filling N+1 conflicting lines evicts exactly one.
-        #[test]
-        fn associativity_bound(base in 0u64..1000) {
+    /// A cache of N ways per set holds at most N distinct lines of the
+    /// same set at once: filling N+1 conflicting lines evicts exactly one.
+    #[test]
+    fn associativity_bound() {
+        let mut r = TestRng(3);
+        for _case in 0..64 {
+            let base = r.below(1000);
             let mut c = Cache::new(CacheConfig::new("p", 512).with_ways(2)); // 4 sets
             let stride = 4 * 64; // same set
             let lines: Vec<u64> = (0..3).map(|i| (base * 64 + i * stride) & !63).collect();
@@ -96,18 +130,20 @@ mod proptests {
                     evicted += 1;
                 }
             }
-            prop_assert_eq!(evicted, 1);
+            assert_eq!(evicted, 1);
         }
+    }
 
-        /// SimpleDRAM: every enqueued request eventually completes, never
-        /// before its minimum latency, and per-epoch returns never exceed
-        /// the configured cap.
-        #[test]
-        fn simple_dram_bandwidth_and_latency(
-            n in 1usize..64,
-            lat in 1u64..100,
-            per_epoch in 1u32..16,
-        ) {
+    /// SimpleDRAM: every enqueued request eventually completes, never
+    /// before its minimum latency, and per-epoch returns never exceed
+    /// the configured cap.
+    #[test]
+    fn simple_dram_bandwidth_and_latency() {
+        let mut r = TestRng(4);
+        for _case in 0..48 {
+            let n = 1 + r.below(63) as usize;
+            let lat = 1 + r.below(99);
+            let per_epoch = 1 + r.below(15) as u32;
             let epoch = 32u64;
             let mut d = SimpleDram::new(SimpleDramConfig {
                 min_latency: lat,
@@ -123,29 +159,34 @@ mod proptests {
             while completed < n {
                 let done = d.step(t);
                 for _ in &done {
-                    prop_assert!(t >= lat);
+                    assert!(t >= lat);
                     *per_epoch_count.entry(t / epoch).or_insert(0u32) += 1;
                 }
                 completed += done.len();
                 t += 1;
-                prop_assert!(t < 1_000_000);
+                assert!(t < 1_000_000);
             }
             for (_, cnt) in per_epoch_count {
-                prop_assert!(cnt <= per_epoch);
+                assert!(cnt <= per_epoch);
             }
-            prop_assert!(d.is_idle());
+            assert!(d.is_idle());
         }
+    }
 
-        /// The hierarchy completes every demand request exactly once.
-        #[test]
-        fn hierarchy_completes_all(
-            addrs in proptest::collection::vec(0u64..65536, 1..100),
-            tiles in 1usize..4,
-        ) {
-            let mut h = MemoryHierarchy::new(HierarchyConfig {
-                prefetch: PrefetchConfig::disabled(),
-                ..HierarchyConfig::default()
-            }, tiles);
+    /// The hierarchy completes every demand request exactly once.
+    #[test]
+    fn hierarchy_completes_all() {
+        let mut r = TestRng(5);
+        for _case in 0..24 {
+            let addrs = addr_vec(&mut r, 100, 65536);
+            let tiles = 1 + r.below(3) as usize;
+            let mut h = MemoryHierarchy::new(
+                HierarchyConfig {
+                    prefetch: PrefetchConfig::disabled(),
+                    ..HierarchyConfig::default()
+                },
+                tiles,
+            );
             let mut pending = std::collections::HashSet::new();
             for (i, a) in addrs.iter().enumerate() {
                 let kind = match i % 3 {
@@ -153,17 +194,25 @@ mod proptests {
                     1 => AccessKind::Write,
                     _ => AccessKind::Atomic,
                 };
-                let id = h.request(MemReq { tile: i % tiles, addr: *a, size: 4, kind }, i as u64);
-                prop_assert!(pending.insert(id));
+                let id = h.request(
+                    MemReq {
+                        tile: i % tiles,
+                        addr: *a,
+                        size: 4,
+                        kind,
+                    },
+                    i as u64,
+                );
+                assert!(pending.insert(id));
             }
             let mut t = addrs.len() as u64;
             while !pending.is_empty() {
                 h.step(t);
                 for c in h.drain_completions() {
-                    prop_assert!(pending.remove(&c.id), "double completion of {:?}", c.id);
+                    assert!(pending.remove(&c.id), "double completion of {:?}", c.id);
                 }
                 t += 1;
-                prop_assert!(t < 1_000_000, "requests stuck");
+                assert!(t < 1_000_000, "requests stuck");
             }
         }
     }

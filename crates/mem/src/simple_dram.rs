@@ -67,6 +67,14 @@ pub struct SimpleDram {
     total_requests: u64,
     total_returned: u64,
     throttled_cycles: u64,
+    /// Last cycle `step` was called with (for analytic throttle credit).
+    last_step: u64,
+    /// Set when the previous `step` hit the bandwidth cap with a ready
+    /// head: the epoch boundary before which every cycle counts as
+    /// throttled. Cycles between sparse `step` calls are credited
+    /// analytically from this, so `throttled_cycles` is identical whether
+    /// the caller steps every cycle or fast-forwards between events.
+    pending_throttle_boundary: Option<u64>,
 }
 
 impl SimpleDram {
@@ -81,6 +89,8 @@ impl SimpleDram {
             total_requests: 0,
             total_returned: 0,
             throttled_cycles: 0,
+            last_step: 0,
+            pending_throttle_boundary: None,
         }
     }
 
@@ -100,6 +110,15 @@ impl SimpleDram {
 
     /// Advances to cycle `now`, returning the requests that complete.
     pub fn step(&mut self, now: u64) -> Vec<ReqId> {
+        // Credit the cycles since the previous step during which the cap
+        // provably kept blocking the ready head (it stays blocked until
+        // the epoch boundary observed then). When the caller steps every
+        // cycle the credited span is empty and only the `+= 1` below
+        // counts, exactly as a per-cycle accounting would.
+        if let Some(boundary) = self.pending_throttle_boundary.take() {
+            self.throttled_cycles += now.min(boundary).saturating_sub(self.last_step + 1);
+        }
+        self.last_step = now;
         // Roll the epoch window forward.
         if now >= self.epoch_start + self.config.epoch_cycles {
             let epochs = (now - self.epoch_start) / self.config.epoch_cycles;
@@ -113,6 +132,8 @@ impl SimpleDram {
             }
             if self.returned_this_epoch >= self.config.max_per_epoch {
                 self.throttled_cycles += 1;
+                self.pending_throttle_boundary =
+                    Some(self.epoch_start + self.config.epoch_cycles);
                 break;
             }
             self.queue.pop();
@@ -121,6 +142,25 @@ impl SimpleDram {
             out.push(id);
         }
         out
+    }
+
+    /// Earliest cycle `>= now` at which a step could return a request:
+    /// the head's ready time, pushed past the epoch boundary while the
+    /// bandwidth cap is exhausted. `None` when the queue is empty.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        let Reverse((ready, _, _)) = self.queue.peek().copied()?;
+        // Epoch state as a step at a cycle `> now` would see it.
+        let (epoch_start, returned) = if now >= self.epoch_start + self.config.epoch_cycles {
+            (u64::MAX, 0) // a roll happens first; the exact start is moot
+        } else {
+            (self.epoch_start, self.returned_this_epoch)
+        };
+        let earliest = if returned >= self.config.max_per_epoch {
+            ready.max(epoch_start.saturating_add(self.config.epoch_cycles))
+        } else {
+            ready
+        };
+        Some(earliest.max(now))
     }
 
     /// Whether any requests are outstanding.

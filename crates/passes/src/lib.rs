@@ -27,13 +27,32 @@ pub use dae::{slice_dae, DaeError, DaeQueues, DaeSlices};
 pub use dce::{eliminate_dead_code, is_referenced, is_scheduled, live_inst_count};
 
 #[cfg(test)]
-mod proptests {
+mod semantics_tests {
+    //! Deterministic pass-semantics sweeps (formerly proptest).
     use super::*;
     use mosaic_ir::{
         run_single, run_tiles, BinOp, Constant, FunctionBuilder, MemImage, Module, RtVal,
         TileProgram, Type,
     };
-    use proptest::prelude::*;
+
+    /// SplitMix64 — a tiny seeded generator for input data.
+    struct TestRng(u64);
+    impl TestRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+            lo + (((u128::from(self.next()) * (hi - lo + 1) as u128) >> 64) as i64)
+        }
+        fn data(&mut self, max_len: u64, lo: i64, hi: i64) -> Vec<i64> {
+            let len = self.int_in(1, max_len as i64) as usize;
+            (0..len).map(|_| self.int_in(lo, hi)).collect()
+        }
+    }
 
     /// Builds y[i] = x[i] + sum(1..=extra) with a chain of extra value
     /// computation.
@@ -66,14 +85,12 @@ mod proptests {
         (m, f)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        #[test]
-        fn dae_slices_match_original_semantics(
-            data in proptest::collection::vec(-1000i64..1000, 1..40),
-            extra in 0usize..5,
-        ) {
+    #[test]
+    fn dae_slices_match_original_semantics() {
+        let mut r = TestRng(21);
+        for case in 0..24 {
+            let data = r.data(39, -1000, 999);
+            let extra = (case % 5) as usize;
             let (mut m, f) = build_kernel(extra);
             let n = data.len() as i64;
 
@@ -83,7 +100,8 @@ mod proptests {
             let y = mem.alloc_i64(n as u64);
             mem.fill_i64(x, &data);
             let args = vec![RtVal::Int(x as i64), RtVal::Int(y as i64), RtVal::Int(n)];
-            let out = run_single(&m, mem, f, args.clone(), &mut mosaic_ir::interp::NullSink).unwrap();
+            let out =
+                run_single(&m, mem, f, args.clone(), &mut mosaic_ir::interp::NullSink).unwrap();
             let expected = out.mem.read_i64_slice(y, n as usize);
 
             // Sliced run.
@@ -91,20 +109,22 @@ mod proptests {
             let mut mem = MemImage::new();
             let x2 = mem.alloc_i64(n as u64);
             let y2 = mem.alloc_i64(n as u64);
-            prop_assert_eq!(x2, x); // deterministic allocator keeps args valid
+            assert_eq!(x2, x); // deterministic allocator keeps args valid
             mem.fill_i64(x2, &data);
             let progs = vec![
                 TileProgram::single(slices.access, args.clone()),
                 TileProgram::single(slices.execute, args),
             ];
             let out = run_tiles(&m, mem, &progs, &mut mosaic_ir::interp::NullSink).unwrap();
-            prop_assert_eq!(out.mem.read_i64_slice(y2, n as usize), expected);
+            assert_eq!(out.mem.read_i64_slice(y2, n as usize), expected);
         }
+    }
 
-        #[test]
-        fn dce_never_changes_observable_memory(
-            data in proptest::collection::vec(-100i64..100, 1..20),
-        ) {
+    #[test]
+    fn dce_never_changes_observable_memory() {
+        let mut r = TestRng(22);
+        for _case in 0..24 {
+            let data = r.data(19, -100, 99);
             let (mut m, f) = build_kernel(3);
             let n = data.len() as i64;
             let run = |m: &Module| {
@@ -120,7 +140,7 @@ mod proptests {
             eliminate_dead_code(&mut m, f);
             mosaic_ir::verify_module(&m).unwrap();
             let after = run(&m);
-            prop_assert_eq!(before, after);
+            assert_eq!(before, after);
         }
     }
 }

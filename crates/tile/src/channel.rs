@@ -100,6 +100,13 @@ impl Channel {
         }
     }
 
+    /// Maturity cycle of the head message, if any (the earliest cycle at
+    /// which a receive can succeed). Used by the fast-forward scheduler
+    /// to wake a receiver exactly when its head matures.
+    pub fn next_recv_ready(&self) -> Option<u64> {
+        self.queue.front().copied()
+    }
+
     /// Messages currently buffered.
     pub fn occupancy(&self) -> usize {
         self.queue.len()
@@ -167,6 +174,22 @@ impl ChannelSet {
     /// Read-only channel lookup.
     pub fn channel(&self, queue: u32) -> Option<&Channel> {
         self.channels.get(&queue)
+    }
+
+    /// The configuration lazily-created channels will receive.
+    pub fn default_config(&self) -> ChannelConfig {
+        self.default_config
+    }
+
+    /// Whether a send to `queue` would currently succeed, counting
+    /// channels not yet created (which are empty and accept sends iff the
+    /// default capacity is nonzero). Read-only mirror of
+    /// `channel_mut(queue).has_space()`.
+    pub fn would_have_space(&self, queue: u32) -> bool {
+        match self.channels.get(&queue) {
+            Some(c) => c.has_space(),
+            None => self.default_config.capacity > 0,
+        }
     }
 
     /// Whether every channel is drained.

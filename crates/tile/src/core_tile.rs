@@ -30,8 +30,8 @@ use mosaic_mem::{AccessKind, MemReq, ReqId};
 use mosaic_trace::TileTrace;
 
 use crate::config::{fused_insts, BranchMode, CoreConfig};
-use crate::mao::Mao;
-use crate::{Tile, TileCtx, TileStats};
+use crate::mao::{Mao, MaoStall};
+use crate::{Channel, ChannelSet, Horizon, Tile, TileCtx, TileStats};
 
 /// Role of an instruction under the DeSC extensions (paper §VII-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +82,31 @@ enum LaunchGate {
     WaitUntil(u64),
 }
 
+/// Per-cycle stall profile of a fully blocked tile, as `issue()` would
+/// count it: one increment per blocked ready candidate, classified by the
+/// first check that rejected it.
+#[derive(Debug, Default)]
+struct SkipStalls {
+    window: u64,
+    fu: u64,
+    mem: u64,
+    send: u64,
+    recv: u64,
+    /// MAO-internal classification of each MAO-rejected candidate (these
+    /// also count once in `mem`).
+    mao: Vec<MaoStall>,
+}
+
+/// Result of the read-only one-cycle dry run backing
+/// [`Tile::next_event`] / [`Tile::on_cycles_skipped`].
+enum Survey {
+    /// Stepping at the surveyed cycle would change architectural state.
+    Ready,
+    /// Stepping would only accumulate `stalls`; nothing can change before
+    /// `wake` (`None`: only an external event can unblock the tile).
+    Blocked { wake: Option<u64>, stalls: SkipStalls },
+}
+
 /// A core tile replaying a traced kernel over the shared memory hierarchy.
 pub struct CoreTile {
     config: CoreConfig,
@@ -123,6 +148,13 @@ pub struct CoreTile {
     accel_busy_until: Option<u64>,
     done: bool,
     stats: TileStats,
+    /// Memoized blocked-survey result, keyed by the cycle it was taken
+    /// at. `next_event` fills it so that the `on_cycles_skipped` call the
+    /// scheduler makes for the same cycle reuses the survey instead of
+    /// re-walking the ready set (the two calls bracket a read-only
+    /// horizon computation, so the state cannot have changed between
+    /// them).
+    skip_cache: std::cell::RefCell<Option<(u64, SkipStalls)>>,
 }
 
 impl std::fmt::Debug for CoreTile {
@@ -194,6 +226,7 @@ impl CoreTile {
             accel_busy_until: None,
             done: false,
             stats,
+            skip_cache: std::cell::RefCell::new(None),
         }
     }
 
@@ -713,6 +746,168 @@ impl CoreTile {
             }
         }
     }
+
+    /// Read-only dry run of what `step()` would do at cycle `now`,
+    /// mirroring its phases in order (accelerator clear, pending pushes,
+    /// completion retire, DBB launch, issue walk). Returns `Ready` the
+    /// moment any phase would change state; otherwise collects the exact
+    /// stall counts `issue()` would record plus the earliest
+    /// time-triggered wake-up.
+    ///
+    /// The fast-forward correctness argument hinges on one property: if
+    /// this returns `Blocked { wake, .. }`, then for every cycle `x` with
+    /// `now <= x < wake` (or unboundedly, when `wake` is `None`) stepping
+    /// the tile at `x` mutates nothing except adding `stalls` once —
+    /// every predicate below is either cycle-independent or of the form
+    /// `event_time <= x` with `event_time` reported through `wake`.
+    fn survey(&self, now: u64, channels: &ChannelSet) -> Survey {
+        let mut wake: Option<u64> = None;
+        let note = |wake: &mut Option<u64>, t: u64| {
+            *wake = Some(wake.map_or(t, |w: u64| w.min(t)));
+        };
+
+        // The done conditions hold but `done` is not set yet (the last
+        // blocker cleared via `on_mem_completion` between steps): the next
+        // aligned step marks the tile finished, which is progress.
+        if self.path_pos >= self.trace.path().len()
+            && self.incomplete.is_empty()
+            && self.accel_busy_until.is_none()
+            && self.detached_outstanding == 0
+            && self.pending_pushes.is_empty()
+            && self.insts.is_empty()
+        {
+            return Survey::Ready;
+        }
+        // Retire phase: the earliest queued completion.
+        if let Some(&Reverse((cycle, _))) = self.completions.peek() {
+            if cycle <= now {
+                return Survey::Ready;
+            }
+            note(&mut wake, cycle);
+        }
+        // Accelerator-clear phase (its completion entry is also in
+        // `completions`, but note the clear time explicitly so the launch
+        // blocker below always has a wake).
+        if let Some(t) = self.accel_busy_until {
+            if t <= now {
+                return Survey::Ready;
+            }
+            note(&mut wake, t);
+        }
+        // Pending hardware pushes: drained as soon as the channel has
+        // space; space is freed only by another tile receiving.
+        if let Some(&queue) = self.pending_pushes.front() {
+            if channels.would_have_space(queue) {
+                return Survey::Ready;
+            }
+        }
+        // Launch phase, mirroring `launch_dbbs`'s first iteration.
+        if self.accel_busy_until.is_none() {
+            if let Some(block) = self.peek_path(0) {
+                let gate_ok = match self.gate {
+                    LaunchGate::Free => true,
+                    LaunchGate::WaitUntil(c) => {
+                        if c > now {
+                            note(&mut wake, c);
+                        }
+                        c <= now
+                    }
+                    // Opened by a completion, which is already noted.
+                    LaunchGate::WaitTerminator { .. } => false,
+                };
+                let live_ok = self.config.live_dbb_limit.is_none_or(|limit| {
+                    self.live_dbbs.get(&block).copied().unwrap_or(0) < limit
+                });
+                let block_len = self.ddg.block(block).len() as u64;
+                if gate_ok
+                    && live_ok
+                    && self.insts.len() as u64 + block_len <= self.config.max_inflight
+                {
+                    return Survey::Ready;
+                }
+            }
+        }
+        // Issue walk, mirroring `issue()` candidate by candidate. Any
+        // issuable candidate means work; otherwise each candidate counts
+        // exactly one stall, classified by the first rejecting check.
+        let mut stalls = SkipStalls::default();
+        let window_limit = self.window_head() + self.config.window_size;
+        for &seq in &self.ready {
+            let di = self.insts.get(&seq).expect("ready implies in flight");
+            let (class, desc) = (di.class, di.desc);
+            let window_exempt = matches!(
+                desc,
+                Some(
+                    DescRole::TerminalLoad { .. }
+                        | DescRole::StoreRecv
+                        | DescRole::DetachedStore
+                )
+            );
+            if seq >= window_limit && !window_exempt {
+                stalls.window += 1;
+                continue;
+            }
+            let fu_limit = self.config.fu.limit(class);
+            if fu_limit != u32::MAX {
+                let busy = self.fu_busy.get(&class).copied().unwrap_or(0);
+                if busy >= fu_limit {
+                    stalls.fu += 1;
+                    continue;
+                }
+            }
+            match class {
+                InstClass::Load | InstClass::Store | InstClass::Atomic => {
+                    if class == InstClass::Atomic && self.atomic_outstanding > 0 {
+                        stalls.mem += 1;
+                        continue;
+                    }
+                    if matches!(
+                        desc,
+                        Some(DescRole::TerminalLoad { .. } | DescRole::DetachedStore)
+                    ) {
+                        if self.detached_outstanding >= self.config.desc_buffer {
+                            stalls.mem += 1;
+                            continue;
+                        }
+                    } else if let Some(kind) = self.mao.probe(seq) {
+                        stalls.mem += 1;
+                        stalls.mao.push(kind);
+                        continue;
+                    }
+                }
+                InstClass::Send => {
+                    let node = self.ddg.node(di.static_id);
+                    let q = node.queue().expect("send has queue") + self.config.queue_offset;
+                    if !channels.would_have_space(q) {
+                        stalls.send += 1;
+                        continue;
+                    }
+                }
+                InstClass::Recv => {
+                    let node = self.ddg.node(di.static_id);
+                    let q = node.queue().expect("recv has queue") + self.config.queue_offset;
+                    match channels.channel(q).and_then(Channel::next_recv_ready) {
+                        Some(ready) if ready <= now => {}
+                        Some(ready) => {
+                            note(&mut wake, ready);
+                            stalls.recv += 1;
+                            continue;
+                        }
+                        None => {
+                            stalls.recv += 1;
+                            continue;
+                        }
+                    }
+                }
+                // Mirrors `issue()`: skipped without a stall count; the
+                // accelerator-busy wake is already noted above.
+                InstClass::Accel if self.accel_busy_until.is_some() => continue,
+                _ => {}
+            }
+            return Survey::Ready;
+        }
+        Survey::Blocked { wake, stalls }
+    }
 }
 
 impl Tile for CoreTile {
@@ -751,9 +946,15 @@ impl Tile for CoreTile {
             }
         }
 
-        // Hardware channel pushes from returned terminal loads.
+        // Hardware channel pushes from returned terminal loads. The space
+        // check is side-effect free (a blocked push is a hardware retry,
+        // not a rejected send) so a blocked cycle mutates nothing — the
+        // fast-forward scheduler relies on this when skipping it.
         while let Some(&queue) = self.pending_pushes.front() {
-            if ctx.channels.channel_mut(queue).try_send(now) {
+            let ch = ctx.channels.channel_mut(queue);
+            if ch.has_space() {
+                let ok = ch.try_send(now);
+                debug_assert!(ok, "checked above");
                 self.pending_pushes.pop_front();
             } else {
                 break;
@@ -790,6 +991,64 @@ impl Tile for CoreTile {
 
     fn stats(&self) -> &TileStats {
         &self.stats
+    }
+
+    fn next_event(&self, now: u64, channels: &ChannelSet) -> Horizon {
+        if self.done {
+            return Horizon::Blocked;
+        }
+        match self.survey(now, channels) {
+            Survey::Ready => Horizon::Ready,
+            Survey::Blocked { wake, stalls } => {
+                *self.skip_cache.borrow_mut() = Some((now, stalls));
+                match wake {
+                    Some(c) => Horizon::At(c),
+                    None => Horizon::Blocked,
+                }
+            }
+        }
+    }
+
+    fn on_cycles_skipped(&mut self, now: u64, aligned_cycles: u64, channels: &ChannelSet) {
+        if self.done || aligned_cycles == 0 {
+            return;
+        }
+        // Reuse the survey `next_event` just took for this cycle if it is
+        // still there; nothing observable can have changed in between.
+        let cached = match self.skip_cache.get_mut().take() {
+            Some((cached_now, stalls)) if cached_now == now => Some(stalls),
+            _ => None,
+        };
+        let stalls = match cached {
+            Some(stalls) => stalls,
+            None => match self.survey(now, channels) {
+                Survey::Blocked { stalls, .. } => stalls,
+                Survey::Ready => {
+                    debug_assert!(false, "fast-forward skipped a tile with pending work");
+                    return;
+                }
+            },
+        };
+        // `stats.cycles` tracks the last cycle the tile was stepped while
+        // active; the next real wake step restores it, so no credit is
+        // needed here.
+        self.stats.window_stalls += stalls.window * aligned_cycles;
+        self.stats.fu_stalls += stalls.fu * aligned_cycles;
+        self.stats.mem_stalls += stalls.mem * aligned_cycles;
+        self.stats.send_stalls += stalls.send * aligned_cycles;
+        self.stats.recv_stalls += stalls.recv * aligned_cycles;
+        for kind in stalls.mao {
+            self.mao.credit_stalls(kind, aligned_cycles);
+        }
+    }
+
+    fn progress_mark(&self) -> u64 {
+        // Any observable work moves one of these monotone counters;
+        // pure-stall cycles move none of them.
+        self.stats.retired
+            + self.stats.issued
+            + self.stats.dbbs_launched
+            + self.stats.accel_invocations
     }
 }
 

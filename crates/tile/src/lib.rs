@@ -28,7 +28,7 @@ mod mao;
 pub use channel::{Channel, ChannelConfig, ChannelSet};
 pub use config::{fused_insts, BranchMode, CoreConfig, CostTable, FuLimits, FusionConfig};
 pub use core_tile::{accelerator_tile, CoreTile};
-pub use mao::Mao;
+pub use mao::{Mao, MaoStall};
 
 use mosaic_ir::AccelOp;
 use mosaic_mem::{MemoryHierarchy, ReqId};
@@ -145,6 +145,28 @@ impl TileStats {
     }
 }
 
+/// A tile's report of when it can next make architectural progress,
+/// used by the Interleaver's event-horizon fast-forward scheduler.
+///
+/// The contract: if a tile reports anything other than [`Horizon::Ready`],
+/// then stepping it at any cycle before the reported horizon must be a
+/// no-op except for stall counters — no launches, issues, retires, or
+/// channel/memory traffic. Stall counters accumulated over skipped cycles
+/// are restored through [`Tile::on_cycles_skipped`], keeping fast-forward
+/// runs bit-identical to the naive single-cycle stepper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Horizon {
+    /// The tile has work at its very next aligned cycle; do not skip.
+    Ready,
+    /// Nothing can happen before this absolute cycle (e.g. an in-flight
+    /// completion retires, a launch gate opens, a channel head matures).
+    At(u64),
+    /// Progress requires an external event — a memory completion or an
+    /// action by another tile. The memory hierarchy's and the other
+    /// tiles' horizons bound the skip instead.
+    Blocked,
+}
+
 /// A hardware tile the Interleaver advances cycle by cycle (paper §II:
 /// "tiles operate alongside each other, each being called upon by the
 /// Interleaver to take a single-cycle step").
@@ -168,6 +190,38 @@ pub trait Tile {
 
     /// Statistics so far.
     fn stats(&self) -> &TileStats;
+
+    /// Earliest cycle `>= now` at which stepping this tile could change
+    /// architectural state (see [`Horizon`] for the contract). `now` is
+    /// the next cycle the Interleaver would execute. The default is
+    /// conservative: always [`Horizon::Ready`], which disables skipping
+    /// past this tile.
+    fn next_event(&self, now: u64, channels: &ChannelSet) -> Horizon {
+        let _ = (now, channels);
+        Horizon::Ready
+    }
+
+    /// Credits the stall counters this tile would have accumulated over
+    /// `aligned_cycles` skipped tile-clock cycles in which it was blocked.
+    /// `now` is the first skipped cycle; the blocked condition (and hence
+    /// the per-cycle stall profile) is constant over the whole skipped
+    /// span, so the tile may evaluate it once at `now` and multiply.
+    /// Called by the fast-forward scheduler with the channel state frozen
+    /// as it was when [`Tile::next_event`] reported the block. Default:
+    /// no-op (consistent with the default `next_event`, which never
+    /// allows a skip).
+    fn on_cycles_skipped(&mut self, now: u64, aligned_cycles: u64, channels: &ChannelSet) {
+        let _ = (now, aligned_cycles, channels);
+    }
+
+    /// A counter that changes whenever a step does observable work
+    /// (issue, retire, launch, …). The fast-forward scheduler compares it
+    /// across a step as a *heuristic* to decide whether attempting a skip
+    /// is worthwhile — correctness never depends on it, so the default
+    /// (always 0, i.e. every cycle looks quiet) is safe for any tile.
+    fn progress_mark(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

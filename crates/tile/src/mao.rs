@@ -34,6 +34,17 @@ struct MaoEntry {
     complete: bool,
 }
 
+/// Why the MAO refuses an issue (see [`Mao::probe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaoStall {
+    /// The LSQ has no free slot.
+    Capacity,
+    /// A load is blocked by an older conflicting store.
+    Load,
+    /// A store is blocked by an older conflicting access.
+    Store,
+}
+
 /// The MAO / LSQ model.
 #[derive(Debug, Clone)]
 pub struct Mao {
@@ -85,14 +96,13 @@ impl Mao {
         }
     }
 
-    /// Whether `seq` may issue under the ordering rules and LSQ capacity.
-    pub fn can_issue(&mut self, seq: u64) -> bool {
-        let Some(me) = self.entries.get(&seq).copied() else {
-            return true; // untracked: not a memory op
-        };
+    /// Whether `seq` may issue under the ordering rules and LSQ capacity,
+    /// without touching the stall counters (read-only; used by the
+    /// fast-forward scheduler's dry-run survey).
+    pub fn probe(&self, seq: u64) -> Option<MaoStall> {
+        let me = self.entries.get(&seq).copied()?; // untracked: not a memory op
         if self.issued_incomplete >= self.lsq_size {
-            self.capacity_stalls += 1;
-            return false;
+            return Some(MaoStall::Capacity);
         }
         for (&s, e) in self.entries.range(..seq) {
             debug_assert!(s < seq);
@@ -111,15 +121,36 @@ impl Mao {
                 !e.resolved || e.word == me.word
             };
             if conflict {
-                if me.is_store {
-                    self.store_stalls += 1;
+                return Some(if me.is_store {
+                    MaoStall::Store
                 } else {
-                    self.load_stalls += 1;
-                }
-                return false;
+                    MaoStall::Load
+                });
             }
         }
-        true
+        None
+    }
+
+    /// Whether `seq` may issue under the ordering rules and LSQ capacity.
+    pub fn can_issue(&mut self, seq: u64) -> bool {
+        match self.probe(seq) {
+            None => true,
+            Some(kind) => {
+                self.credit_stalls(kind, 1);
+                false
+            }
+        }
+    }
+
+    /// Adds `n` to the stall counter for `kind`. The fast-forward
+    /// scheduler uses this to account for skipped blocked cycles so the
+    /// counters match a naive cycle-by-cycle run exactly.
+    pub fn credit_stalls(&mut self, kind: MaoStall, n: u64) {
+        match kind {
+            MaoStall::Capacity => self.capacity_stalls += n,
+            MaoStall::Load => self.load_stalls += n,
+            MaoStall::Store => self.store_stalls += n,
+        }
     }
 
     /// Marks `seq` issued (occupies LSQ capacity until completion).
@@ -289,36 +320,51 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod schedule_tests {
+    //! Deterministic pseudo-random schedule sweeps (formerly proptest).
     use super::*;
-    use proptest::prelude::*;
 
-    /// A random program-order sequence of memory ops; the model must
-    /// never admit a load past an older incomplete *matching* store, in
-    /// either speculation mode, under any issue/complete interleaving.
-    #[derive(Debug, Clone)]
+    /// SplitMix64 — a tiny seeded generator for the schedule sweeps.
+    struct TestRng(u64);
+    impl TestRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, bound: u64) -> u64 {
+            ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
     struct Op {
         addr: u64,
         is_store: bool,
     }
 
-    fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
-        proptest::collection::vec(
-            (0u64..8, proptest::bool::ANY).prop_map(|(a, s)| Op {
-                addr: a * 8, // distinct 8-byte words
-                is_store: s,
-            }),
-            1..24,
-        )
+    fn ops(r: &mut TestRng) -> Vec<Op> {
+        let len = 1 + r.below(23) as usize;
+        (0..len)
+            .map(|_| Op {
+                addr: r.below(8) * 8, // distinct 8-byte words
+                is_store: r.below(2) == 1,
+            })
+            .collect()
     }
 
-    proptest! {
-        #[test]
-        fn raw_ordering_is_never_violated(
-            ops in ops_strategy(),
-            spec in proptest::bool::ANY,
-            completion_order in proptest::collection::vec(0usize..24, 0..48),
-        ) {
+    /// A random program-order sequence of memory ops; the model must
+    /// never admit a load past an older incomplete *matching* store, in
+    /// either speculation mode, under any issue/complete interleaving.
+    #[test]
+    fn raw_ordering_is_never_violated() {
+        let mut r = TestRng(11);
+        for case in 0..64 {
+            let ops = ops(&mut r);
+            let spec = case % 2 == 0;
+            let completion_order: Vec<usize> =
+                (0..48).map(|_| r.below(24) as usize).collect();
             let mut mao = Mao::new(64, spec);
             for (i, op) in ops.iter().enumerate() {
                 mao.insert(i as u64, op.addr, op.is_store);
@@ -327,7 +373,7 @@ mod proptests {
             let mut issued = vec![false; ops.len()];
             let mut complete = vec![false; ops.len()];
             // Drive a random schedule: repeatedly try to issue everything,
-            // completing ops in the fuzzed order in between.
+            // completing ops in the generated order in between.
             let mut completions = completion_order.iter().map(|&i| i % ops.len());
             for _round in 0..ops.len() * 2 + 2 {
                 for i in 0..ops.len() {
@@ -343,7 +389,7 @@ mod proptests {
                         }
                         let conflict = ops[j].addr == ops[i].addr
                             && (ops[j].is_store || ops[i].is_store);
-                        prop_assert!(
+                        assert!(
                             !conflict,
                             "op {i} issued past older incomplete conflicting op {j}"
                         );
@@ -381,13 +427,15 @@ mod proptests {
                 }
             }
         }
+    }
 
-        /// Occupancy never exceeds the configured LSQ size.
-        #[test]
-        fn lsq_capacity_is_respected(
-            ops in ops_strategy(),
-            cap in 1u32..8,
-        ) {
+    /// Occupancy never exceeds the configured LSQ size.
+    #[test]
+    fn lsq_capacity_is_respected() {
+        let mut r = TestRng(12);
+        for _case in 0..64 {
+            let ops = ops(&mut r);
+            let cap = 1 + r.below(7) as u32;
             let mut mao = Mao::new(cap, true);
             for (i, op) in ops.iter().enumerate() {
                 mao.insert(i as u64, op.addr, op.is_store);
@@ -398,12 +446,12 @@ mod proptests {
                 if mao.can_issue(i as u64) {
                     mao.mark_issued(i as u64);
                     issued += 1;
-                    prop_assert!(mao.occupancy() <= cap);
+                    assert!(mao.occupancy() <= cap);
                 } else if issued >= cap {
                     // Full LSQ is an acceptable reason to refuse.
                 }
             }
-            prop_assert!(mao.occupancy() <= cap);
+            assert!(mao.occupancy() <= cap);
         }
     }
 }

@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- DAE: slice into access + execute, re-trace, simulate the pair. ---
     let slices = slice_dae(&mut prepared.module, prepared.func, DaeQueues::default())?;
     println!(
-        "\nsliced `{}` into `{}` and `{}`",
-        "projection",
+        "\nsliced `projection` into `{}` and `{}`",
         prepared.module.function(slices.access).name(),
         prepared.module.function(slices.execute).name()
     );

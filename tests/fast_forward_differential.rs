@@ -1,0 +1,114 @@
+//! Differential test for the event-horizon fast-forward scheduler
+//! (DESIGN.md §"Event-horizon fast-forwarding").
+//!
+//! The fast-forward path must be an *optimization*, never a semantic
+//! change: for every kernel × core model × tile count, the cycle count,
+//! every per-tile statistic (including stall breakdowns), the memory
+//! statistics, DRAM throttle accounting, and all energy totals must be
+//! bit-identical to the naive cycle-by-cycle stepper.
+
+use std::sync::Arc;
+
+use mosaicsim::kernels::build_parboil;
+use mosaicsim::prelude::*;
+
+/// Simulates `name` on `tiles` copies of `config`, with or without
+/// fast-forwarding, and returns the full report.
+fn simulate(name: &str, tiles: usize, config: &CoreConfig, fast_forward: bool) -> SimReport {
+    let p = build_parboil(name, 1);
+    let (trace, _) = p.trace(tiles).expect("trace");
+    let module = Arc::new(p.module);
+    let trace = Arc::new(trace);
+    let mut builder = SystemBuilder::new(module, trace)
+        .memory(xeon_memory())
+        .fast_forward(fast_forward);
+    for t in 0..tiles {
+        builder = builder.core(config.clone().with_name(&format!("c{t}")), p.func, t);
+    }
+    builder.run().expect("simulate")
+}
+
+/// Asserts every observable field of two reports is identical.
+fn assert_reports_identical(naive: &SimReport, fast: &SimReport, label: &str) {
+    assert_eq!(naive.cycles, fast.cycles, "{label}: cycle count diverged");
+    assert_eq!(
+        naive.total_retired, fast.total_retired,
+        "{label}: retired count diverged"
+    );
+    assert_eq!(naive.mem, fast.mem, "{label}: memory stats diverged");
+    assert_eq!(
+        naive.dram_throttled, fast.dram_throttled,
+        "{label}: DRAM throttle accounting diverged"
+    );
+    assert_eq!(
+        naive.tiles.len(),
+        fast.tiles.len(),
+        "{label}: tile count diverged"
+    );
+    for (n, f) in naive.tiles.iter().zip(&fast.tiles) {
+        assert_eq!(n, f, "{label}: tile {} stats diverged", n.name);
+    }
+    assert_eq!(
+        naive.core_energy_pj.to_bits(),
+        fast.core_energy_pj.to_bits(),
+        "{label}: core energy diverged"
+    );
+    assert_eq!(
+        naive.mem_energy_pj.to_bits(),
+        fast.mem_energy_pj.to_bits(),
+        "{label}: memory energy diverged"
+    );
+    assert_eq!(
+        naive.static_energy_pj.to_bits(),
+        fast.static_energy_pj.to_bits(),
+        "{label}: static energy diverged"
+    );
+}
+
+/// The full matrix from the issue: ≥4 Parboil kernels × {in-order,
+/// out-of-order} × {1, 4} tiles.
+#[test]
+fn fast_forward_is_bit_identical_to_naive() {
+    let kernels = ["bfs", "sgemm", "spmv", "histo", "stencil"];
+    let cores = [
+        ("in_order", CoreConfig::in_order()),
+        ("out_of_order", CoreConfig::out_of_order()),
+    ];
+    for name in kernels {
+        for (core_label, config) in &cores {
+            for tiles in [1usize, 4] {
+                let label = format!("{name}/{core_label}/{tiles}t");
+                let naive = simulate(name, tiles, config, false);
+                let fast = simulate(name, tiles, config, true);
+                assert_reports_identical(&naive, &fast, &label);
+            }
+        }
+    }
+}
+
+/// Fast-forwarding must also preserve behavior under a banked
+/// (DRAMSim-style) backend, whose horizon comes from bank state rather
+/// than the SimpleDRAM epoch equation.
+#[test]
+fn fast_forward_identical_with_banked_dram() {
+    let p = build_parboil("bfs", 1);
+    let run = |fast_forward: bool| {
+        let (trace, _) = p.trace(2).expect("trace");
+        let mut memory = xeon_memory();
+        memory.dram = DramKind::Banked(Default::default());
+        let mut builder = SystemBuilder::new(Arc::new(p.module.clone()), Arc::new(trace))
+            .memory(memory)
+            .fast_forward(fast_forward);
+        for t in 0..2 {
+            builder = builder.core(
+                CoreConfig::out_of_order().with_name(&format!("c{t}")),
+                p.func,
+                t,
+            );
+        }
+        builder.run().expect("simulate")
+    };
+    let naive = run(false);
+    let fast = run(true);
+    assert_reports_identical(&naive, &fast, "bfs/banked/2t");
+}
