@@ -56,7 +56,7 @@ pub use workload::{compute_ops_per_cycle, workload_of, Workload};
 use std::collections::HashMap;
 
 use mosaic_ir::AccelOp;
-use mosaic_tile::{AccelResult, AccelSim};
+use mosaic_tile::{AccelResult, AccelSim, TileError};
 
 /// A set of configured accelerator tiles exposed to the simulator.
 ///
@@ -127,18 +127,18 @@ impl AccelBank {
 }
 
 impl AccelSim for AccelBank {
-    fn invoke(&mut self, accel: AccelOp, args: &[i64]) -> AccelResult {
+    fn invoke(&mut self, accel: AccelOp, args: &[i64]) -> Result<AccelResult, TileError> {
         let config = self.config(accel);
         let est = analytic_estimate(accel, args, &config);
         let cycles = est.cycles + config.invocation_overhead;
         self.invocations += 1;
         self.total_cycles += cycles;
         self.total_bytes += est.bytes;
-        AccelResult {
+        Ok(AccelResult {
             cycles,
             energy_pj: est.energy_pj,
             bytes: est.bytes,
-        }
+        })
     }
 }
 
@@ -149,8 +149,8 @@ mod tests {
     #[test]
     fn bank_dispatches_and_accounts() {
         let mut bank = AccelBank::with_defaults();
-        let r1 = bank.invoke(AccelOp::Sgemm, &[0, 0, 0, 64, 64, 64]);
-        let r2 = bank.invoke(AccelOp::ElementWise, &[0, 0, 0, 4096]);
+        let r1 = bank.invoke(AccelOp::Sgemm, &[0, 0, 0, 64, 64, 64]).unwrap();
+        let r2 = bank.invoke(AccelOp::ElementWise, &[0, 0, 0, 4096]).unwrap();
         assert!(r1.cycles > 0 && r2.cycles > 0);
         assert_eq!(bank.invocations(), 2);
         assert_eq!(bank.total_cycles(), r1.cycles + r2.cycles);
@@ -164,19 +164,19 @@ mod tests {
             AccelOp::Sgemm,
             AccelConfig::default().with_plm_bytes(4 * 1024),
         );
-        let small_plm = bank.invoke(AccelOp::Sgemm, &[0, 0, 0, 256, 256, 256]).cycles;
+        let small_plm = bank.invoke(AccelOp::Sgemm, &[0, 0, 0, 256, 256, 256]).unwrap().cycles;
         bank.configure(
             AccelOp::Sgemm,
             AccelConfig::default().with_plm_bytes(256 * 1024),
         );
-        let big_plm = bank.invoke(AccelOp::Sgemm, &[0, 0, 0, 256, 256, 256]).cycles;
+        let big_plm = bank.invoke(AccelOp::Sgemm, &[0, 0, 0, 256, 256, 256]).unwrap().cycles;
         assert!(big_plm < small_plm);
     }
 
     #[test]
     fn unconfigured_accelerator_uses_defaults() {
         let mut bank = AccelBank::new();
-        let r = bank.invoke(AccelOp::Relu, &[1 << 16]);
+        let r = bank.invoke(AccelOp::Relu, &[1 << 16]).unwrap();
         assert!(r.cycles > 0);
     }
 

@@ -36,7 +36,8 @@ fn main() {
                 .memory(mem.clone())
                 .core(config.clone(), p.func, 0)
                 .fast_forward(ff)
-                .build();
+                .build()
+                .expect("valid config");
             il.run().expect("simulate");
             times[i] = t0.elapsed().as_secs_f64();
             cycles[i] = il.now();

@@ -1,4 +1,4 @@
-//! Design-choice ablations (DESIGN.md §4.5): quantify the model features
+//! Design-choice ablations (DESIGN.md §4.6): quantify the model features
 //! the paper calls out — prefetching, DRAM model fidelity, memory-alias
 //! speculation, branch speculation, and MSHR capacity.
 //!
@@ -25,8 +25,8 @@ fn with_prefetch(base: HierarchyConfig, on: bool) -> HierarchyConfig {
 
 /// Accumulates whole-binary throughput across the section sweeps.
 fn tally(total: &mut (u64, u64, f64), sweep: &Sweep) {
-    total.0 += sweep.points.iter().map(|p| p.report.cycles).sum::<u64>();
-    total.1 += sweep.points.iter().map(|p| p.report.total_retired).sum::<u64>();
+    total.0 += sweep.points.iter().map(|p| p.report().cycles).sum::<u64>();
+    total.1 += sweep.points.iter().map(|p| p.report().total_retired).sum::<u64>();
     total.2 += sweep.wall_secs;
 }
 
@@ -45,7 +45,7 @@ fn main() {
     });
     tally(&mut total, &sweep);
     for pair in sweep.points.chunks(2) {
-        let (on, off) = (&pair[0].report, &pair[1].report);
+        let (on, off) = (pair[0].report(), pair[1].report());
         println!(
             "   {:<10} on {:>10}  off {:>10}  gain {:>5.2}x  (prefetches {})",
             pair[0].label.split('/').next().unwrap_or(""),
@@ -75,7 +75,7 @@ fn main() {
     });
     tally(&mut total, &sweep);
     for pair in sweep.points.chunks(2) {
-        let (simple, banked) = (&pair[0].report, &pair[1].report);
+        let (simple, banked) = (pair[0].report(), pair[1].report());
         println!(
             "   {:<10} simple {:>10}  banked {:>10}  ratio {:>5.2}",
             pair[0].label,
@@ -98,7 +98,7 @@ fn main() {
     });
     tally(&mut total, &sweep);
     for pair in sweep.points.chunks(2) {
-        let (off, on) = (&pair[0].report, &pair[1].report);
+        let (off, on) = (pair[0].report(), pair[1].report());
         println!(
             "   {:<14} off {:>10}  on {:>10}  gain {:>5.2}x",
             pair[0].label,
@@ -127,8 +127,8 @@ fn main() {
         println!(
             "   {:<8} {:>10} cycles  ({} mispredicts)",
             point.label,
-            point.report.cycles,
-            point.report.tiles[0].mispredicts
+            point.report().cycles,
+            point.report().tiles[0].mispredicts
         );
     }
 
@@ -144,7 +144,7 @@ fn main() {
     });
     tally(&mut total, &sweep);
     for point in &sweep.points {
-        println!("   {:>3} entries {:>10} cycles", point.label, point.report.cycles);
+        println!("   {:>3} entries {:>10} cycles", point.label, point.report().cycles);
     }
 
     println!("\n6. Pre-RTL accelerator tile: live-DBB limit as hardware loop");
@@ -156,7 +156,7 @@ fn main() {
     });
     tally(&mut total, &sweep);
     for point in &sweep.points {
-        println!("   unroll {:>2}: {:>10} cycles", point.label, point.report.cycles);
+        println!("   unroll {:>2}: {:>10} cycles", point.label, point.report().cycles);
     }
 
     println!("\n7. Mesh NoC hop latency (paper §V-A future work; 0 = ideal):");
@@ -174,7 +174,7 @@ fn main() {
     });
     tally(&mut total, &sweep);
     for point in &sweep.points {
-        println!("   {:>2} cyc/hop: {:>10} cycles (4 tiles)", point.label, point.report.cycles);
+        println!("   {:>2} cyc/hop: {:>10} cycles (4 tiles)", point.label, point.report().cycles);
     }
 
     let (cycles, instrs, wall) = total;

@@ -50,8 +50,8 @@ fn main() {
         let mut base_m = 0f64;
         let mut base_r = 0f64;
         for &t in &threads {
-            let m = &rows.next().expect("grid row").report;
-            let r = &rows.next().expect("grid row").report;
+            let m = rows.next().expect("grid row").report();
+            let r = rows.next().expect("grid row").report();
             if t == 1 {
                 base_m = m.cycles as f64;
                 base_r = r.cycles as f64;

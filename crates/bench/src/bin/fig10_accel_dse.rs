@@ -106,8 +106,8 @@ fn main() {
         println!(
             "{:>8} {:>12} cycles  ({} accel invocations)",
             point.label,
-            point.report.cycles,
-            point.report.tiles[0].accel_invocations
+            point.report().cycles,
+            point.report().tiles[0].accel_invocations
         );
     }
     println!("{}", sweep.summary());

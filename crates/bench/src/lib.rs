@@ -18,7 +18,7 @@
 //! | `fig13_combined` | Fig. 13 combined sparse+dense workloads |
 //! | `fig14_keras_edp` | Fig. 14 Keras EDP improvements |
 //! | `storage_report` | §VI-B trace storage requirements |
-//! | `ablations` | Design-choice ablations (DESIGN.md §4.5) |
+//! | `ablations` | Design-choice ablations (DESIGN.md §4.6) |
 //!
 //! This library crate holds the shared harness utilities.
 
@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use mosaic_core::{record_trace, EnergyModel, SimError, SimReport, SystemBuilder};
+use mosaic_core::{record_trace, EnergyModel, MosaicError, SimError, SimReport, SystemBuilder};
 use mosaic_ir::TileProgram;
 use mosaic_kernels::Prepared;
 use mosaic_mem::HierarchyConfig;
@@ -92,7 +92,7 @@ pub fn run_dae_pairs(
     pairs: usize,
     memory: HierarchyConfig,
     channel: ChannelConfig,
-) -> Result<SimReport, SimError> {
+) -> Result<SimReport, MosaicError> {
     let mut programs = Vec::new();
     for pair in 0..pairs {
         let offset = 1000 * pair as u32;
@@ -140,21 +140,47 @@ pub fn run_dae_pairs(
 pub struct SweepPoint {
     /// Label the job function returned for this point.
     pub label: String,
-    /// The simulation report.
-    pub report: SimReport,
+    /// The simulation report, or why this configuration failed. A failed
+    /// point is a report row like any other: the rest of the sweep ran.
+    pub result: Result<SimReport, MosaicError>,
     /// Wall-clock seconds this point took on its worker thread.
     pub wall_secs: f64,
 }
 
 impl SweepPoint {
-    /// Simulated cycles per wall-clock second for this point.
-    pub fn sim_cycles_per_sec(&self) -> f64 {
-        self.report.cycles as f64 / self.wall_secs
+    /// The report of a point that must have succeeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered failure (snapshot included for
+    /// deadlocks) when the point failed — for figure binaries whose
+    /// configurations are known-good.
+    pub fn report(&self) -> &SimReport {
+        match &self.result {
+            Ok(r) => r,
+            Err(e) => panic!("sweep point {} failed: {e}", self.label),
+        }
     }
 
-    /// Retired instructions per wall-clock second for this point.
+    /// Whether this point produced a report.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// Simulated cycles per wall-clock second for this point (0 for a
+    /// failed point).
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        self.result
+            .as_ref()
+            .map_or(0.0, |r| r.cycles as f64 / self.wall_secs)
+    }
+
+    /// Retired instructions per wall-clock second for this point (0 for a
+    /// failed point).
     pub fn instrs_per_sec(&self) -> f64 {
-        self.report.total_retired as f64 / self.wall_secs
+        self.result
+            .as_ref()
+            .map_or(0.0, |r| r.total_retired as f64 / self.wall_secs)
     }
 }
 
@@ -171,26 +197,78 @@ pub struct Sweep {
 }
 
 impl Sweep {
-    /// Aggregate simulated cycles per wall-clock second across the sweep.
+    /// Aggregate simulated cycles per wall-clock second across the sweep
+    /// (successful points only).
     pub fn sim_cycles_per_sec(&self) -> f64 {
-        self.points.iter().map(|p| p.report.cycles).sum::<u64>() as f64 / self.wall_secs
+        self.points
+            .iter()
+            .filter_map(|p| p.result.as_ref().ok())
+            .map(|r| r.cycles)
+            .sum::<u64>() as f64
+            / self.wall_secs
     }
 
-    /// Aggregate retired instructions per wall-clock second.
+    /// Aggregate retired instructions per wall-clock second (successful
+    /// points only).
     pub fn instrs_per_sec(&self) -> f64 {
-        self.points.iter().map(|p| p.report.total_retired).sum::<u64>() as f64 / self.wall_secs
+        self.points
+            .iter()
+            .filter_map(|p| p.result.as_ref().ok())
+            .map(|r| r.total_retired)
+            .sum::<u64>() as f64
+            / self.wall_secs
     }
 
-    /// One-line throughput summary for figure binaries.
+    /// Points that failed (deadlocks, invalid configs, caught panics).
+    pub fn failed(&self) -> impl Iterator<Item = &SweepPoint> {
+        self.points.iter().filter(|p| p.result.is_err())
+    }
+
+    /// One-line throughput summary for figure binaries; names the number
+    /// of failed points when there are any.
     pub fn summary(&self) -> String {
+        let failures = self.failed().count();
+        let failure_note = if failures > 0 {
+            format!(", {failures} FAILED")
+        } else {
+            String::new()
+        };
         format!(
-            "[sweep: {} sims on {} threads in {:.2}s — {:.2}M sim-cycles/s, {:.3} MIPS aggregate]",
+            "[sweep: {} sims on {} threads in {:.2}s — {:.2}M sim-cycles/s, {:.3} MIPS aggregate{}]",
             self.points.len(),
             self.threads,
             self.wall_secs,
             self.sim_cycles_per_sec() / 1e6,
-            self.instrs_per_sec() / 1e6
+            self.instrs_per_sec() / 1e6,
+            failure_note
         )
+    }
+}
+
+/// Anything a [`run_sweep`] job may return as its report slot: an
+/// infallible [`SimReport`], or a `Result` in either of the simulator's
+/// error types — so both panicking harness helpers and fallible runs
+/// plug in without adapter closures.
+pub trait IntoSweepResult {
+    /// Converts into the sweep's uniform result row.
+    fn into_sweep_result(self) -> Result<SimReport, MosaicError>;
+}
+
+impl IntoSweepResult for SimReport {
+    fn into_sweep_result(self) -> Result<SimReport, MosaicError> {
+        Ok(self)
+    }
+}
+
+impl IntoSweepResult for Result<SimReport, MosaicError> {
+    fn into_sweep_result(self) -> Result<SimReport, MosaicError> {
+        self
+    }
+}
+
+impl IntoSweepResult for Result<SimReport, SimError> {
+    fn into_sweep_result(self) -> Result<SimReport, MosaicError> {
+        self.map_err(MosaicError::Sim)
     }
 }
 
@@ -201,16 +279,19 @@ impl Sweep {
 /// embarrassingly parallel (every [`SystemBuilder`] run is independent),
 /// so points are distributed over `std::thread::available_parallelism()`
 /// workers via an atomic work index. `job` maps a point to a
-/// `(label, report)` pair and must be callable from any thread.
+/// `(label, report-or-error)` pair (see [`IntoSweepResult`]) and must be
+/// callable from any thread.
 ///
-/// # Panics
-///
-/// Panics if a worker thread panics (harness code).
-pub fn run_sweep<T, F>(points: &[T], job: F) -> Sweep
+/// One failing configuration does not take the batch down: a returned
+/// error — and even a panic inside `job` — becomes that point's
+/// [`SweepPoint::result`] row while every other point still runs.
+pub fn run_sweep<T, R, F>(points: &[T], job: F) -> Sweep
 where
     T: Sync,
-    F: Fn(&T) -> (String, SimReport) + Sync,
+    R: IntoSweepResult,
+    F: Fn(&T) -> (String, R) + Sync,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     let n = points.len();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -227,10 +308,29 @@ where
                     break;
                 }
                 let t0 = Instant::now();
-                let (label, report) = job(&points[i]);
+                // A panicking job must not poison the whole sweep; fold
+                // it into the point's result like any other failure.
+                // (&points[i] is a shared reference and the job ran to a
+                // panic, so observing no partial state makes the
+                // AssertUnwindSafe sound here.)
+                let (label, result) = match catch_unwind(AssertUnwindSafe(|| {
+                    let (label, r) = job(&points[i]);
+                    (label, r.into_sweep_result())
+                })) {
+                    Ok(done) => done,
+                    Err(payload) => {
+                        let context = payload
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("non-string panic payload")
+                            .to_string();
+                        (format!("point {i}"), Err(MosaicError::Panic { context }))
+                    }
+                };
                 let point = SweepPoint {
                     label,
-                    report,
+                    result,
                     wall_secs: t0.elapsed().as_secs_f64(),
                 };
                 *slots[i].lock().expect("sweep slot") = Some(point);
@@ -306,12 +406,98 @@ mod tests {
         for (point, expect) in sweep.points.iter().zip(&points) {
             assert_eq!(point.label, format!("{}/{}t", expect.0, expect.1));
             let serial = job(expect).1;
-            assert_eq!(point.report.cycles, serial.cycles, "{}", point.label);
-            assert_eq!(point.report.total_retired, serial.total_retired);
+            assert_eq!(point.report().cycles, serial.cycles, "{}", point.label);
+            assert_eq!(point.report().total_retired, serial.total_retired);
             assert!(point.sim_cycles_per_sec() > 0.0);
             assert!(point.instrs_per_sec() > 0.0);
         }
         assert!(sweep.sim_cycles_per_sec() > 0.0);
         assert!(!sweep.summary().is_empty());
+    }
+
+    /// Builds a producer/consumer system whose timing run deadlocks when
+    /// `sends > recvs + capacity` (the functional run still completes,
+    /// because interpreter queues are unbounded).
+    fn chatter(sends: i64, recvs: i64) -> Result<SimReport, MosaicError> {
+        use mosaic_ir::{Constant, FunctionBuilder, MemImage, Module, RtVal, Type};
+        let mut m = Module::new("chatter");
+        let produce = m.add_function("produce", vec![("n".into(), Type::I64)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(produce));
+        let n = b.param(0);
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("i", Constant::i64(0).into(), n, |b, i| b.send(0, i));
+        b.ret(None);
+        let consume = m.add_function("consume", vec![("n".into(), Type::I64)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(consume));
+        let n = b.param(0);
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("i", Constant::i64(0).into(), n, |b, _| {
+            b.recv(0, Type::I64);
+        });
+        b.ret(None);
+        let programs = vec![
+            TileProgram::single(produce, vec![RtVal::Int(sends)]),
+            TileProgram::single(consume, vec![RtVal::Int(recvs)]),
+        ];
+        let (trace, _) = record_trace(&m, MemImage::new(), &programs).expect("trace");
+        SystemBuilder::new(Arc::new(m), Arc::new(trace))
+            .memory(mosaic_core::small_memory())
+            .channels(ChannelConfig {
+                capacity: 8,
+                latency: 1,
+            })
+            .core(CoreConfig::in_order().with_name("p"), produce, 0)
+            .core(CoreConfig::in_order().with_name("c"), consume, 1)
+            .run()
+    }
+
+    /// One deadlocking configuration becomes a failure row; the rest of
+    /// the batch still completes with reports.
+    #[test]
+    fn sweep_isolates_a_deadlocked_config() {
+        // (sends, recvs): the middle point deadlocks, the others drain.
+        let points = [(20i64, 20i64), (100, 10), (30, 30)];
+        let sweep = run_sweep(&points, |&(sends, recvs)| {
+            (format!("{sends}/{recvs}"), chatter(sends, recvs))
+        });
+        assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.points[0].is_ok(), "{:?}", sweep.points[0].result);
+        assert!(sweep.points[2].is_ok(), "{:?}", sweep.points[2].result);
+        match &sweep.points[1].result {
+            Err(MosaicError::Sim(mosaic_core::SimError::Deadlock { snapshot })) => {
+                // The failure row carries the full wait-for evidence.
+                assert!(snapshot.to_string().contains("full channel 0"));
+            }
+            other => panic!("expected a deadlock row, got {other:?}"),
+        }
+        assert_eq!(sweep.failed().count(), 1);
+        assert!(sweep.summary().contains("1 FAILED"), "{}", sweep.summary());
+    }
+
+    /// Even a panic inside the job is confined to its point's row.
+    #[test]
+    fn sweep_isolates_a_panicking_job() {
+        let points = [1usize, 2, 3];
+        let sweep = run_sweep(&points, |&i| {
+            if i == 2 {
+                panic!("point {i} exploded");
+            }
+            let p = mosaic_kernels::build_parboil("histo", 1);
+            (
+                format!("ok{i}"),
+                run_spmd(&p, 1, CoreConfig::in_order(), mosaic_core::small_memory()),
+            )
+        });
+        assert!(sweep.points[0].is_ok());
+        assert!(sweep.points[2].is_ok());
+        match &sweep.points[1].result {
+            Err(MosaicError::Panic { context }) => {
+                assert!(context.contains("point 2 exploded"), "{context}");
+            }
+            other => panic!("expected a panic row, got {other:?}"),
+        }
+        assert!(sweep.summary().contains("1 FAILED"));
     }
 }

@@ -1,0 +1,80 @@
+//! The workspace-wide failure taxonomy.
+//!
+//! Every way a MosaicSim pipeline can fail funnels into [`MosaicError`]:
+//! config validation at build time, functional execution (trace
+//! generation), the timing simulation itself (including deadlock
+//! verdicts), and panics caught at sweep isolation boundaries. Callers
+//! that orchestrate many runs — `run_sweep` in `mosaic-bench` — can
+//! record one failing configuration as a report row and keep going.
+
+use mosaic_ir::ExecError;
+
+use crate::interleaver::SimError;
+
+/// Any failure of the build → trace → simulate pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MosaicError {
+    /// A configuration field has a value the simulator cannot honor.
+    /// Raised by [`crate::SystemBuilder::build`] before any cycle runs.
+    InvalidConfig {
+        /// Dotted path of the offending field (e.g. `core.clock_divisor`).
+        field: String,
+        /// Why the value is rejected.
+        message: String,
+    },
+    /// The functional execution (Dynamic Trace Generation) failed.
+    Exec(ExecError),
+    /// The timing simulation failed (deadlock, cycle cap, tile fault).
+    Sim(SimError),
+    /// A panic escaped the simulation and was caught at an isolation
+    /// boundary (only produced by batch drivers like `run_sweep`).
+    Panic {
+        /// The panic payload, when it was a string.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for MosaicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MosaicError::InvalidConfig { field, message } => {
+                write!(f, "invalid config: {field}: {message}")
+            }
+            MosaicError::Exec(e) => write!(f, "trace generation failed: {e}"),
+            MosaicError::Sim(e) => write!(f, "simulation failed: {e}"),
+            MosaicError::Panic { context } => write!(f, "simulation panicked: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for MosaicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MosaicError::Exec(e) => Some(e),
+            MosaicError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for MosaicError {
+    fn from(e: ExecError) -> Self {
+        MosaicError::Exec(e)
+    }
+}
+
+impl From<SimError> for MosaicError {
+    fn from(e: SimError) -> Self {
+        MosaicError::Sim(e)
+    }
+}
+
+impl MosaicError {
+    /// Shorthand for an [`MosaicError::InvalidConfig`].
+    pub fn invalid_config(field: &str, message: impl Into<String>) -> Self {
+        MosaicError::InvalidConfig {
+            field: field.to_string(),
+            message: message.into(),
+        }
+    }
+}

@@ -14,18 +14,94 @@
 //! [`AccelSim`] (paper §IV-A).
 
 use mosaic_mem::{Completion, MemoryHierarchy};
-use mosaic_tile::{AccelSim, ChannelSet, Horizon, Tile, TileCtx};
+use mosaic_tile::{AccelSim, ChannelSet, Horizon, Tile, TileCtx, TileError, TileStallInfo};
+
+/// One channel's state at the moment a stall was diagnosed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSnapshot {
+    /// Hardware queue id.
+    pub queue: u32,
+    /// Entries currently buffered.
+    pub occupancy: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Total successful sends so far.
+    pub sends: u64,
+    /// Total successful receives so far.
+    pub recvs: u64,
+}
+
+impl std::fmt::Display for ChannelSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "channel {}: {}/{} occupied, {} sends, {} recvs",
+            self.queue, self.occupancy, self.capacity, self.sends, self.recvs
+        )
+    }
+}
+
+/// What every unfinished tile was waiting on when the simulation stopped
+/// making progress — the wait-for evidence behind a
+/// [`SimError::Deadlock`] verdict.
+///
+/// The snapshot holds only architectural state (blocked reasons, path
+/// positions, channel occupancies, in-flight memory requests), never
+/// mode-dependent diagnostics, so the fast-forwarding and naive schedulers
+/// produce bit-identical snapshots for the same deadlock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallSnapshot {
+    /// First cycle at which no tile or memory event could occur any more
+    /// (one past the last cycle that made observable progress).
+    pub cycle: u64,
+    /// Per-tile blocked reasons, in tile order (unfinished tiles only).
+    pub tiles: Vec<TileStallInfo>,
+    /// Every channel that has been touched, sorted by queue id.
+    pub channels: Vec<ChannelSnapshot>,
+    /// Memory requests still tracked by the hierarchy.
+    pub mem_in_flight: usize,
+}
+
+impl std::fmt::Display for StallSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "no progress possible after cycle {}:", self.cycle)?;
+        for t in &self.tiles {
+            writeln!(f, "  {t}")?;
+        }
+        for c in &self.channels {
+            writeln!(f, "  {c}")?;
+        }
+        write!(f, "  memory: {} requests in flight", self.mem_in_flight)
+    }
+}
 
 /// Errors produced by a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// The cycle cap was reached before every tile drained — almost always
-    /// a deadlocked channel pair or a trace/kernel mismatch.
+    /// The cycle cap was reached while tiles were still making progress —
+    /// the run is live but slower than the configured budget.
     CycleLimit {
         /// The cap that was hit.
         limit: u64,
         /// Names of the tiles that had not finished.
         unfinished: Vec<String>,
+    },
+    /// Every unfinished tile is blocked on a condition no other party can
+    /// ever satisfy (circular channel waits, mismatched produce/consume
+    /// counts, a send into a queue nobody drains). Detected by the
+    /// event-horizon survey under fast-forwarding and by the no-progress
+    /// watchdog under naive stepping; both report the same snapshot.
+    Deadlock {
+        /// The wait-for evidence, rendered by `Display`.
+        snapshot: StallSnapshot,
+    },
+    /// A tile detected malformed input (trace/kernel mismatch, missing
+    /// accelerator, out-of-range memory target) and aborted the run.
+    Tile {
+        /// Name of the tile that failed.
+        tile: String,
+        /// What it tripped over.
+        source: TileError,
     },
 }
 
@@ -36,11 +112,22 @@ impl std::fmt::Display for SimError {
                 f,
                 "simulation exceeded {limit} cycles with unfinished tiles {unfinished:?}"
             ),
+            SimError::Deadlock { snapshot } => {
+                write!(f, "deadlock: {snapshot}")
+            }
+            SimError::Tile { source, .. } => write!(f, "{source}"),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Tile { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// The cycle-driven scheduler composing tiles, memory, channels, and
 /// accelerators into whole-system estimates.
@@ -68,6 +155,16 @@ pub struct Interleaver {
     cycles_skipped: u64,
     /// Fast-forward jumps taken (diagnostics).
     skips_taken: u64,
+    /// Last cycle whose step made observable progress. Drives the
+    /// `blocked at cycle` verdict: the deadlock cycle is one past this,
+    /// identical under fast-forward and naive stepping because both
+    /// execute every progress cycle.
+    last_progress_at: Option<u64>,
+    /// Consecutive quiet steps before the naive-path watchdog surveys the
+    /// system for a deadlock (see [`Self::set_watchdog_window`]).
+    watchdog_window: u64,
+    /// Quiet steps seen since the last progress or watchdog survey.
+    quiet_streak: u64,
 }
 
 /// Smallest multiple of `d` that is `>= x`.
@@ -108,6 +205,9 @@ impl Interleaver {
             steps_executed: 0,
             cycles_skipped: 0,
             skips_taken: 0,
+            last_progress_at: None,
+            watchdog_window: 10_000,
+            quiet_streak: 0,
         }
     }
 
@@ -129,6 +229,17 @@ impl Interleaver {
     /// Sets the runaway-protection cycle cap.
     pub fn set_cycle_limit(&mut self, limit: u64) {
         self.cycle_limit = limit;
+    }
+
+    /// Sets how many consecutive quiet cycles the naive stepper tolerates
+    /// before surveying the system for a deadlock (default 10 000). Only a
+    /// detection *latency* knob: the verdict and its snapshot are the same
+    /// for any window, because the blocked cycle is derived from the last
+    /// progress cycle, not from when the watchdog fired. Under
+    /// fast-forwarding the survey happens at every skip attempt instead,
+    /// so the window is unused.
+    pub fn set_watchdog_window(&mut self, window: u64) {
+        self.watchdog_window = window.max(1);
     }
 
     /// Enables or disables event-horizon fast-forwarding in [`Self::run`]
@@ -166,7 +277,12 @@ impl Interleaver {
     }
 
     /// Advances one global cycle. Returns whether all tiles are done.
-    pub fn step(&mut self) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Tile`] when a tile rejects its input (trace
+    /// underrun, missing accelerator, out-of-range memory target).
+    pub fn step(&mut self) -> Result<bool, SimError> {
         let now = self.now;
         self.mem.step(now);
         self.mem.drain_completions_into(&mut self.completion_buf);
@@ -190,16 +306,88 @@ impl Interleaver {
                 channels: &mut self.channels,
                 accel: self.accel.as_mut(),
             };
-            tile.step(&mut ctx);
+            tile.step(&mut ctx).map_err(|source| SimError::Tile {
+                tile: tile.name().to_string(),
+                source,
+            })?;
             progress |= tile.progress_mark() != mark;
             if tile.is_done() {
                 self.finished += 1;
             }
         }
         self.quiet = !progress;
+        if progress {
+            self.last_progress_at = Some(now);
+        }
         self.steps_executed += 1;
         self.now += 1;
-        self.finished == self.tiles.len()
+        Ok(self.finished == self.tiles.len())
+    }
+
+    /// First cycle at which nothing could happen any more: one past the
+    /// last cycle whose step made observable progress.
+    fn blocked_at(&self) -> u64 {
+        self.last_progress_at.map_or(0, |c| c + 1)
+    }
+
+    /// Collects the wait-for evidence for a deadlock verdict. Queried at
+    /// the blocked cycle (not the detection cycle, which differs between
+    /// the fast-forwarding and naive schedulers) so both modes report
+    /// bit-identical snapshots: once every party is blocked the state the
+    /// snapshot reads is frozen.
+    fn stall_snapshot(&self) -> StallSnapshot {
+        let blocked_at = self.blocked_at();
+        let tiles = self
+            .tiles
+            .iter()
+            .filter(|t| !t.is_done())
+            .map(|t| t.stall_info(blocked_at, &self.channels))
+            .collect();
+        // Channels live in a hash map; sort for a deterministic report.
+        let mut channels: Vec<ChannelSnapshot> = self
+            .channels
+            .iter()
+            .map(|(queue, ch)| ChannelSnapshot {
+                queue,
+                occupancy: ch.occupancy(),
+                capacity: ch.config().capacity,
+                sends: ch.sends(),
+                recvs: ch.recvs(),
+            })
+            .collect();
+        channels.sort_by_key(|c| c.queue);
+        StallSnapshot {
+            cycle: blocked_at,
+            tiles,
+            channels,
+            mem_in_flight: self.mem.in_flight(),
+        }
+    }
+
+    /// Surveys the system for a deadlock: every unfinished tile reports
+    /// [`Horizon::Blocked`] (waiting on another party, not on time) and
+    /// the memory hierarchy has no pending event, so no step at any future
+    /// cycle can change anything. Returns the verdict with its snapshot,
+    /// or `None` when some event can still occur.
+    fn check_deadlock(&self) -> Option<SimError> {
+        if self.finished == self.tiles.len() {
+            return None;
+        }
+        let now = self.now;
+        for tile in &self.tiles {
+            if tile.is_done() {
+                continue;
+            }
+            if !matches!(tile.next_event(now, &self.channels), Horizon::Blocked) {
+                return None;
+            }
+        }
+        if self.mem.next_event_cycle(now).is_some() {
+            return None;
+        }
+        Some(SimError::Deadlock {
+            snapshot: self.stall_snapshot(),
+        })
     }
 
     /// Jumps `now` forward to the next cycle at which any tile or the
@@ -210,16 +398,23 @@ impl Interleaver {
     /// The jump target is the minimum over (a) each unfinished tile's next
     /// event, aligned up to its clock divisor — exactly the next cycle the
     /// naive stepper would have stepped it with that event visible; (b)
-    /// the memory hierarchy's next internal event; and (c) the cycle cap,
-    /// so a deadlock produces the identical [`SimError::CycleLimit`].
+    /// the memory hierarchy's next internal event; and (c) the cycle cap.
     /// Because no event of any kind lies in `[now, target)`, the naive
     /// stepper would have executed those cycles as pure no-ops except for
     /// per-cycle stall counters, which [`Tile::on_cycles_skipped`]
     /// restores — keeping cycle counts, per-tile stats, and energy
     /// bit-identical between both modes.
-    fn skip_to_horizon(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// When the survey finds *no* event anywhere — every unfinished tile
+    /// blocked on another party and the memory hierarchy drained — the
+    /// system can never move again: returns [`SimError::Deadlock`] with a
+    /// [`StallSnapshot`] instead of spinning to the cycle cap.
+    fn skip_to_horizon(&mut self) -> Result<(), SimError> {
         let now = self.now;
         let mut target = self.cycle_limit;
+        let mut any_event = false;
         for tile in &self.tiles {
             if tile.is_done() {
                 continue;
@@ -230,16 +425,23 @@ impl Interleaver {
                 Horizon::At(c) => align_up(c.max(now), div),
                 Horizon::Blocked => continue,
             };
+            any_event = true;
             target = target.min(wake);
             if target <= now {
-                return;
+                return Ok(());
             }
         }
         if let Some(e) = self.mem.next_event_cycle(now) {
+            any_event = true;
             target = target.min(e.max(now));
         }
+        if !any_event && self.finished < self.tiles.len() {
+            return Err(SimError::Deadlock {
+                snapshot: self.stall_snapshot(),
+            });
+        }
         if target <= now {
-            return;
+            return Ok(());
         }
         for tile in &mut self.tiles {
             if tile.is_done() {
@@ -254,6 +456,7 @@ impl Interleaver {
         self.cycles_skipped += target - now;
         self.skips_taken += 1;
         self.now = target;
+        Ok(())
     }
 
     fn cycle_limit_error(&self) -> SimError {
@@ -275,10 +478,15 @@ impl Interleaver {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::CycleLimit`] if the cap is hit first.
+    /// Returns [`SimError::Deadlock`] when no tile or memory event can
+    /// ever occur again (fast-forwarding detects this at the first failed
+    /// skip attempt; the naive stepper via the no-progress watchdog — both
+    /// report the same blocked cycle and snapshot),
+    /// [`SimError::CycleLimit`] when the cap is hit while still live, and
+    /// [`SimError::Tile`] when a tile rejects its input.
     pub fn run(&mut self) -> Result<u64, SimError> {
         let mut just_skipped = false;
-        while !self.step() {
+        while !self.step()? {
             if self.now >= self.cycle_limit {
                 return Err(self.cycle_limit_error());
             }
@@ -290,13 +498,27 @@ impl Interleaver {
             // surveying every cycle would be pure overhead.
             if self.fast_forward && (self.quiet || just_skipped) {
                 let before = self.now;
-                self.skip_to_horizon();
+                self.skip_to_horizon()?;
                 just_skipped = self.now != before;
                 if self.now >= self.cycle_limit {
                     return Err(self.cycle_limit_error());
                 }
             } else {
                 just_skipped = false;
+                // Naive-path watchdog: after a window of steps with no
+                // observable work, survey for a deadlock. The verdict is
+                // window-independent (see `set_watchdog_window`).
+                if self.quiet {
+                    self.quiet_streak += 1;
+                    if self.quiet_streak >= self.watchdog_window {
+                        self.quiet_streak = 0;
+                        if let Some(err) = self.check_deadlock() {
+                            return Err(err);
+                        }
+                    }
+                } else {
+                    self.quiet_streak = 0;
+                }
             }
         }
         // The completion cycle is the latest tile finish time.

@@ -47,6 +47,7 @@
 mod config;
 mod config_file;
 mod energy;
+mod error;
 mod interleaver;
 mod runner;
 mod system;
@@ -54,8 +55,9 @@ mod system;
 pub use config::{dae_channel, dae_memory, print_table1, print_table2, small_memory, xeon_memory};
 pub use config_file::{load_system_config, parse_system_config, ConfigError};
 pub use energy::EnergyModel;
-pub use interleaver::{Interleaver, SimError};
-pub use runner::{record_trace, simulate_single, simulate_spmd, PipelineError};
+pub use error::MosaicError;
+pub use interleaver::{ChannelSnapshot, Interleaver, SimError, StallSnapshot};
+pub use runner::{record_trace, simulate_single, simulate_spmd};
 pub use system::{SimReport, SystemBuilder};
 
 #[cfg(test)]
@@ -174,7 +176,10 @@ mod tests {
             .cycle_limit(100)
             .run()
             .unwrap_err();
-        assert!(matches!(err, SimError::CycleLimit { .. }));
+        assert!(matches!(
+            err,
+            MosaicError::Sim(SimError::CycleLimit { .. })
+        ));
     }
 
     #[test]

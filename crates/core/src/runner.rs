@@ -8,40 +8,8 @@ use mosaic_mem::HierarchyConfig;
 use mosaic_tile::CoreConfig;
 use mosaic_trace::{KernelTrace, TraceRecorder};
 
-use crate::interleaver::SimError;
+use crate::error::MosaicError;
 use crate::system::{SimReport, SystemBuilder};
-
-/// Errors from the end-to-end pipeline.
-#[derive(Debug)]
-pub enum PipelineError {
-    /// The functional execution (DTG) failed.
-    Exec(ExecError),
-    /// The timing simulation failed.
-    Sim(SimError),
-}
-
-impl std::fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PipelineError::Exec(e) => write!(f, "trace generation failed: {e}"),
-            PipelineError::Sim(e) => write!(f, "simulation failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {}
-
-impl From<ExecError> for PipelineError {
-    fn from(e: ExecError) -> Self {
-        PipelineError::Exec(e)
-    }
-}
-
-impl From<SimError> for PipelineError {
-    fn from(e: SimError) -> Self {
-        PipelineError::Sim(e)
-    }
-}
 
 /// Runs the Dynamic Trace Generator: functionally executes `programs`
 /// over `mem`, recording the control-flow and memory traces
@@ -65,7 +33,7 @@ pub fn record_trace(
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError`] if tracing or simulation fails.
+/// Returns [`MosaicError`] if tracing or simulation fails.
 ///
 /// # Examples
 ///
@@ -125,7 +93,7 @@ pub fn simulate_spmd(
     n: usize,
     core: CoreConfig,
     memory: HierarchyConfig,
-) -> Result<SimReport, PipelineError> {
+) -> Result<SimReport, MosaicError> {
     let programs = TileProgram::spmd(func, args, n);
     let (trace, _out) = record_trace(&module, mem_image, &programs)?;
     let module = Arc::new(module);
@@ -135,14 +103,14 @@ pub fn simulate_spmd(
         let config = core.clone().with_name(&format!("{}#{t}", core.name));
         builder = builder.core(config, func, t);
     }
-    Ok(builder.run()?)
+    builder.run()
 }
 
 /// Traces and simulates a kernel on a single core.
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError`] if tracing or simulation fails.
+/// Returns [`MosaicError`] if tracing or simulation fails.
 pub fn simulate_single(
     module: Module,
     func: FuncId,
@@ -150,6 +118,6 @@ pub fn simulate_single(
     mem_image: MemImage,
     core: CoreConfig,
     memory: HierarchyConfig,
-) -> Result<SimReport, PipelineError> {
+) -> Result<SimReport, MosaicError> {
     simulate_spmd(module, func, args, mem_image, 1, core, memory)
 }

@@ -10,14 +10,15 @@ use std::fmt;
 use std::sync::Arc;
 
 use mosaic_ir::{FuncId, Module};
-use mosaic_mem::{HierarchyConfig, MemStats, MemoryHierarchy};
+use mosaic_mem::{CacheConfig, DramKind, HierarchyConfig, MemStats, MemoryHierarchy};
 use mosaic_tile::{
     AccelSim, ChannelConfig, ChannelSet, CoreConfig, CoreTile, NoAccel, Tile, TileStats,
 };
 use mosaic_trace::KernelTrace;
 
 use crate::energy::EnergyModel;
-use crate::interleaver::{Interleaver, SimError};
+use crate::error::MosaicError;
+use crate::interleaver::Interleaver;
 
 /// Final report of one system simulation.
 #[derive(Debug, Clone)]
@@ -138,6 +139,7 @@ pub struct SystemBuilder {
     energy: EnergyModel,
     cycle_limit: u64,
     fast_forward: bool,
+    watchdog_window: Option<u64>,
 }
 
 impl fmt::Debug for SystemBuilder {
@@ -161,6 +163,7 @@ impl SystemBuilder {
             energy: EnergyModel::default(),
             cycle_limit: 2_000_000_000,
             fast_forward: true,
+            watchdog_window: None,
         }
     }
 
@@ -201,6 +204,13 @@ impl SystemBuilder {
         self
     }
 
+    /// Overrides the naive-path deadlock watchdog's quiet window (see
+    /// [`Interleaver::set_watchdog_window`]).
+    pub fn watchdog_window(mut self, window: u64) -> Self {
+        self.watchdog_window = Some(window);
+        self
+    }
+
     /// Adds a core tile running `func` and replaying trace tile
     /// `trace_tile`.
     pub fn core(mut self, config: CoreConfig, func: FuncId, trace_tile: usize) -> Self {
@@ -212,8 +222,97 @@ impl SystemBuilder {
         self
     }
 
+    /// Rejects configurations the simulator cannot honor, naming the
+    /// offending field. Centralized here so every entry point (direct
+    /// `build`, `run`, the pipeline helpers, sweep drivers) fails the
+    /// same way before any cycle runs.
+    fn validate(&self) -> Result<(), MosaicError> {
+        fn check_cache(path: &str, c: &CacheConfig) -> Result<(), MosaicError> {
+            // Line offsets are masked with `line_bytes - 1`, which is only
+            // correct for power-of-two lines.
+            if !c.line_bytes().is_power_of_two() {
+                return Err(MosaicError::invalid_config(
+                    &format!("{path}.line_bytes"),
+                    format!("line size {} is not a power of two", c.line_bytes()),
+                ));
+            }
+            // The size must tile exactly into sets × ways × line, or the
+            // truncated set count silently models a smaller cache than
+            // configured (a 20 MiB 20-way LLC is fine; 20 MiB 8-way is not).
+            let tile = c.line_bytes() as u64 * c.ways() as u64;
+            if !c.size_bytes().is_multiple_of(tile) {
+                return Err(MosaicError::invalid_config(
+                    &format!("{path}.size_bytes"),
+                    format!(
+                        "cache size {} is not a whole number of sets ({} ways x {}B lines)",
+                        c.size_bytes(),
+                        c.ways(),
+                        c.line_bytes()
+                    ),
+                ));
+            }
+            Ok(())
+        }
+        if self.channel.capacity == 0 {
+            return Err(MosaicError::invalid_config(
+                "channel.capacity",
+                "channels need at least one buffer slot; a zero-capacity \
+                 channel can never pass a message",
+            ));
+        }
+        for spec in &self.tiles {
+            if spec.config.clock_divisor == 0 {
+                return Err(MosaicError::invalid_config(
+                    "core.clock_divisor",
+                    format!(
+                        "tile {} has clock divisor 0; it would never be stepped",
+                        spec.config.name
+                    ),
+                ));
+            }
+            if spec.trace_tile >= self.trace.tile_count() {
+                return Err(MosaicError::invalid_config(
+                    "core.trace_tile",
+                    format!(
+                        "tile {} replays trace tile {} but the trace has {}",
+                        spec.config.name,
+                        spec.trace_tile,
+                        self.trace.tile_count()
+                    ),
+                ));
+            }
+        }
+        check_cache("memory.l1", &self.memory.l1)?;
+        if let Some(l2) = &self.memory.l2 {
+            check_cache("memory.l2", l2)?;
+        }
+        check_cache("memory.llc", &self.memory.llc)?;
+        if let DramKind::Simple(d) = &self.memory.dram {
+            if d.max_per_epoch == 0 {
+                return Err(MosaicError::invalid_config(
+                    "memory.dram.max_per_epoch",
+                    "a bandwidth cap of 0 transfers per epoch means no \
+                     memory request can ever complete",
+                ));
+            }
+            if d.epoch_cycles == 0 {
+                return Err(MosaicError::invalid_config(
+                    "memory.dram.epoch_cycles",
+                    "epoch length must be positive",
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Builds the interleaver without running it (stepwise use).
-    pub fn build(self) -> Interleaver {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MosaicError::InvalidConfig`] naming the offending field
+    /// when the configuration cannot be honored.
+    pub fn build(self) -> Result<Interleaver, MosaicError> {
+        self.validate()?;
         let ntiles = self.tiles.len();
         let mem = MemoryHierarchy::new(self.memory, ntiles.max(1));
         let channels = ChannelSet::new(self.channel);
@@ -236,19 +335,24 @@ impl SystemBuilder {
         let mut il = Interleaver::new(tiles, mem, channels, accel);
         il.set_cycle_limit(self.cycle_limit);
         il.set_fast_forward(self.fast_forward);
-        il
+        if let Some(w) = self.watchdog_window {
+            il.set_watchdog_window(w);
+        }
+        Ok(il)
     }
 
     /// Builds and runs to completion.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] if the cycle cap is exceeded.
-    pub fn run(self) -> Result<SimReport, SimError> {
+    /// Returns [`MosaicError::InvalidConfig`] for a rejected
+    /// configuration and [`MosaicError::Sim`] when the simulation
+    /// deadlocks, exceeds the cycle cap, or a tile faults.
+    pub fn run(self) -> Result<SimReport, MosaicError> {
         let energy = self.energy;
         let areas: Vec<f64> = self.tiles.iter().map(|t| t.config.area_mm2).collect();
-        let mut il = self.build();
-        let cycles = il.run()?;
+        let mut il = self.build()?;
+        let cycles = il.run().map_err(MosaicError::Sim)?;
         let (tiles, mem, _channels) = il.into_parts();
         let tile_stats: Vec<TileStats> = tiles.iter().map(|t| t.stats().clone()).collect();
         let mem_stats = mem.stats();
@@ -264,5 +368,116 @@ impl SystemBuilder {
             mem_energy_pj: energy.memory_energy_pj(&mem_stats),
             static_energy_pj: energy.static_energy_pj(total_area, cycles),
         })
+    }
+}
+
+#[cfg(test)]
+mod validation_tests {
+    //! Every rejected configuration must name the offending field so the
+    //! error is actionable without reading simulator source.
+
+    use std::sync::Arc;
+
+    use mosaic_ir::{FunctionBuilder, MemImage, Module, TileProgram, Type};
+    use mosaic_mem::{CacheConfig, DramKind, SimpleDramConfig};
+    use mosaic_tile::{ChannelConfig, CoreConfig};
+
+    use super::SystemBuilder;
+    use crate::error::MosaicError;
+    use crate::record_trace;
+
+    /// A builder over a trivial one-tile kernel (empty body, immediate
+    /// return) so validation is the only thing under test.
+    fn builder() -> (SystemBuilder, mosaic_ir::FuncId) {
+        let mut m = Module::new("v");
+        let f = m.add_function("k", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.ret(None);
+        mosaic_ir::verify_module(&m).expect("verify");
+        let programs = vec![TileProgram::single(f, vec![])];
+        let (trace, _) = record_trace(&m, MemImage::new(), &programs).expect("trace");
+        (
+            SystemBuilder::new(Arc::new(m), Arc::new(trace)),
+            f,
+        )
+    }
+
+    /// Unwraps the expected rejection and returns (field, message).
+    fn rejects(b: SystemBuilder) -> (String, String) {
+        match b.build() {
+            Err(MosaicError::InvalidConfig { field, message }) => (field, message),
+            Ok(_) => panic!("config was accepted"),
+            Err(other) => panic!("wrong error type: {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_channel_is_rejected() {
+        let (b, f) = builder();
+        let b = b
+            .channels(ChannelConfig {
+                capacity: 0,
+                latency: 1,
+            })
+            .core(CoreConfig::in_order(), f, 0);
+        let (field, message) = rejects(b);
+        assert_eq!(field, "channel.capacity");
+        assert!(message.contains("zero-capacity"), "{message}");
+    }
+
+    #[test]
+    fn zero_clock_divisor_is_rejected() {
+        let (b, f) = builder();
+        let mut config = CoreConfig::in_order().with_name("stuck");
+        config.clock_divisor = 0;
+        let (field, message) = rejects(b.core(config, f, 0));
+        assert_eq!(field, "core.clock_divisor");
+        assert!(message.contains("stuck"), "{message}");
+    }
+
+    #[test]
+    fn untileable_cache_size_is_rejected() {
+        let (b, f) = builder();
+        let mut memory = crate::small_memory();
+        // 10000 bytes over 64B lines x 8 ways leaves a fractional set.
+        memory.l1 = CacheConfig::new("L1", 10_000);
+        let (field, message) = rejects(b.memory(memory).core(CoreConfig::in_order(), f, 0));
+        assert_eq!(field, "memory.l1.size_bytes");
+        assert!(message.contains("10000"), "{message}");
+    }
+
+    #[test]
+    fn zero_bandwidth_dram_is_rejected() {
+        let (b, f) = builder();
+        let mut memory = crate::small_memory();
+        memory.dram = DramKind::Simple(SimpleDramConfig {
+            min_latency: 100,
+            epoch_cycles: 128,
+            max_per_epoch: 0,
+        });
+        let (field, message) = rejects(b.memory(memory).core(CoreConfig::in_order(), f, 0));
+        assert_eq!(field, "memory.dram.max_per_epoch");
+        assert!(message.contains("no"), "{message}");
+    }
+
+    #[test]
+    fn out_of_range_trace_tile_is_rejected() {
+        let (b, f) = builder();
+        let (field, message) = rejects(b.core(CoreConfig::in_order(), f, 3));
+        assert_eq!(field, "core.trace_tile");
+        assert!(message.contains('3'), "{message}");
+    }
+
+    #[test]
+    fn paper_presets_validate() {
+        for memory in [crate::small_memory(), crate::xeon_memory(), crate::dae_memory()] {
+            let (b, f) = builder();
+            b.memory(memory)
+                .core(CoreConfig::out_of_order(), f, 0)
+                .build()
+                .expect("paper preset must validate");
+        }
     }
 }

@@ -537,6 +537,43 @@ pub fn parse_module(text: &str) -> Result<Module, IrError> {
                     return Err(perr(p.line, format!("result id %{id} out of range")));
                 }
                 let (op, ty) = parse_inst_body(&p.text, p.line)?;
+                // References that escape this function's blocks/insts would
+                // only surface as line-less verifier errors (or worse, as an
+                // index panic downstream); reject them here with the line.
+                for succ in op.successors() {
+                    if succ.index() >= blocks.len() {
+                        return Err(perr(
+                            p.line,
+                            format!("branch target bb{} does not exist", succ.0),
+                        ));
+                    }
+                }
+                if let Opcode::Phi { incoming } = &op {
+                    for (b, _) in incoming {
+                        if b.index() >= blocks.len() {
+                            return Err(perr(
+                                p.line,
+                                format!("phi references unknown block bb{}", b.0),
+                            ));
+                        }
+                    }
+                }
+                let mut bad_ref = None;
+                op.for_each_operand(|o| {
+                    if bad_ref.is_none() {
+                        if let Operand::Inst(id) = o {
+                            if id.0 >= total {
+                                bad_ref = Some(id.0);
+                            }
+                        }
+                    }
+                });
+                if let Some(id) = bad_ref {
+                    return Err(perr(
+                        p.line,
+                        format!("operand %{id} references a nonexistent instruction"),
+                    ));
+                }
                 let ty = if p.printed_id.is_none() { Type::Void } else { ty };
                 if arena[id as usize].is_some() {
                     return Err(perr(p.line, format!("duplicate result id %{id}")));
@@ -621,6 +658,72 @@ mod tests {
     fn parse_rejects_unclosed_function() {
         let bad = "func @f() -> void {\nbb0: ; e\n  ret void\n";
         assert!(parse_module(bad).is_err());
+    }
+
+    /// Unwraps a parse error, asserting it is spanned.
+    fn parse_err(text: &str) -> (usize, String) {
+        match parse_module(text) {
+            Err(IrError::Parse { line, message }) => (line, message),
+            other => panic!("expected spanned parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_function_names_the_header_line() {
+        // The function opens at line 3 and never closes.
+        let (line, msg) = parse_err("module x\n\nfunc @f() -> void {\nbb0: ; e\n  ret void\n");
+        assert_eq!(line, 3, "{msg}");
+        assert!(msg.contains("closing"), "{msg}");
+    }
+
+    #[test]
+    fn phi_from_unknown_block_names_the_line() {
+        let bad = "func @f() -> i64 {\nbb0: ; e\n  br bb1\nbb1: ; l\n  %1 = phi i64 [bb0: i64 0], [bb9: i64 1]\n  ret %1\n}\n";
+        let (line, msg) = parse_err(bad);
+        assert_eq!(line, 5, "{msg}");
+        assert!(msg.contains("bb9"), "{msg}");
+    }
+
+    #[test]
+    fn branch_to_unknown_block_names_the_line() {
+        let bad = "func @f() -> void {\nbb0: ; e\n  br bb7\n}\n";
+        let (line, msg) = parse_err(bad);
+        assert_eq!(line, 3, "{msg}");
+        assert!(msg.contains("bb7"), "{msg}");
+    }
+
+    #[test]
+    fn operand_out_of_range_names_the_line() {
+        let bad = "func @f() -> i64 {\nbb0: ; e\n  %0 = add i64 %9, i64 1\n  ret %0\n}\n";
+        let (line, msg) = parse_err(bad);
+        assert_eq!(line, 3, "{msg}");
+        assert!(msg.contains("%9"), "{msg}");
+    }
+
+    #[test]
+    fn mistyped_literal_names_the_line() {
+        // A float literal where the declared operand type is integral.
+        let bad = "func @f() -> i64 {\nbb0: ; e\n  %0 = add i64 i64 1.5, i64 2\n  ret %0\n}\n";
+        let (line, msg) = parse_err(bad);
+        assert_eq!(line, 3, "{msg}");
+        assert!(msg.contains("1.5"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_result_id_names_the_line() {
+        let bad =
+            "func @f() -> i64 {\nbb0: ; e\n  %0 = add i64 i64 1, i64 2\n  %0 = add i64 i64 3, i64 4\n  ret %0\n}\n";
+        let (line, msg) = parse_err(bad);
+        assert_eq!(line, 4, "{msg}");
+        assert!(msg.contains("%0"), "{msg}");
+    }
+
+    #[test]
+    fn bad_queue_reference_names_the_line() {
+        let bad = "func @f() -> void {\nbb0: ; e\n  send qx, i64 1\n  ret void\n}\n";
+        let (line, msg) = parse_err(bad);
+        assert_eq!(line, 3, "{msg}");
+        assert!(msg.contains("qx"), "{msg}");
     }
 
     #[test]

@@ -163,6 +163,36 @@ pub struct MemStats {
     pub prefetches: u64,
 }
 
+/// Errors produced by the memory hierarchy for malformed requests.
+///
+/// Internal invariants (event bookkeeping, MSHR state) still assert; this
+/// type covers only conditions reachable from bad *input*, so the
+/// simulation core can surface them as recoverable failures instead of
+/// aborting a whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// A request named a tile with no private-cache slot.
+    UnknownTile {
+        /// The tile index the request carried.
+        tile: usize,
+        /// How many tiles the hierarchy was built for.
+        tiles: usize,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::UnknownTile { tile, tiles } => write!(
+                f,
+                "memory request names tile {tile} but the hierarchy serves {tiles} tiles"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
 /// The composed memory system.
 #[derive(Debug)]
 pub struct MemoryHierarchy {
@@ -256,7 +286,24 @@ impl MemoryHierarchy {
 
     /// Issues a request at `now`; the completion arrives via
     /// [`drain_completions`](Self::drain_completions) some cycles later.
-    pub fn request(&mut self, req: MemReq, now: u64) -> ReqId {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::UnknownTile`] if `req.tile` has no
+    /// private-cache slot (the hierarchy was built for fewer tiles).
+    pub fn request(&mut self, req: MemReq, now: u64) -> Result<ReqId, MemError> {
+        if req.tile >= self.l1.len() {
+            return Err(MemError::UnknownTile {
+                tile: req.tile,
+                tiles: self.l1.len(),
+            });
+        }
+        Ok(self.request_valid(req, now))
+    }
+
+    /// [`request`](Self::request) after tile validation — also the
+    /// prefetcher's re-entry point (prefetches inherit a known-good tile).
+    fn request_valid(&mut self, req: MemReq, now: u64) -> ReqId {
         let id = ReqId(self.next_id);
         self.next_id += 1;
         let line = self.l1[req.tile].line_of(req.addr);
@@ -291,7 +338,7 @@ impl MemoryHierarchy {
                     for pf_addr in fired {
                         // Only issue if not already resident in L1.
                         if !self.l1[req.tile].probe(pf_addr) {
-                            self.request(
+                            self.request_valid(
                                 MemReq {
                                     tile: req.tile,
                                     addr: pf_addr,
@@ -645,6 +692,11 @@ impl MemoryHierarchy {
         self.events.is_empty() && dram_idle && self.completions.is_empty() && self.states.is_empty()
     }
 
+    /// Requests accepted but not yet delivered back to their tiles.
+    pub fn in_flight(&self) -> usize {
+        self.states.len()
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> MemStats {
         self.stats
@@ -688,7 +740,7 @@ mod tests {
     }
 
     fn run_one(h: &mut MemoryHierarchy, req: MemReq, start: u64) -> u64 {
-        let id = h.request(req, start);
+        let id = h.request(req, start).expect("valid tile");
         let mut t = start;
         loop {
             h.step(t);
@@ -729,9 +781,9 @@ mod tests {
             size: 4,
             kind: AccessKind::Read,
         };
-        let a = h.request(mk(0x8000), 0);
-        let b = h.request(mk(0x8004), 0);
-        let c = h.request(mk(0x8038), 0);
+        let a = h.request(mk(0x8000), 0).expect("valid tile");
+        let b = h.request(mk(0x8004), 0).expect("valid tile");
+        let c = h.request(mk(0x8038), 0).expect("valid tile");
         let mut t = 0;
         let mut done = Vec::new();
         while done.len() < 3 {
@@ -934,7 +986,8 @@ mod tests {
                     kind: AccessKind::Read,
                 },
                 0,
-            );
+            )
+            .expect("valid tile");
         }
         let mut t = 0;
         while !h.is_idle() {
@@ -979,7 +1032,8 @@ mod noc_tests {
                 kind: AccessKind::Read,
             },
             start,
-        );
+        )
+        .expect("valid tile");
         let mut t = start;
         loop {
             h.step(t);

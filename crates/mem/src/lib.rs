@@ -21,7 +21,7 @@
 //! let id = hier.request(
 //!     MemReq { tile: 0, addr: 0x8000, size: 8, kind: AccessKind::Read },
 //!     0,
-//! );
+//! ).expect("tile 0 exists");
 //! let mut cycle = 0;
 //! let done = loop {
 //!     hier.step(cycle);
@@ -45,7 +45,7 @@ mod simple_dram;
 
 pub use banked::{BankedDram, BankedDramConfig};
 pub use cache::{Cache, CacheConfig, FillOutcome, LookupResult};
-pub use hierarchy::{DramKind, HierarchyConfig, MemStats, MemoryHierarchy, NocConfig};
+pub use hierarchy::{DramKind, HierarchyConfig, MemError, MemStats, MemoryHierarchy, NocConfig};
 pub use mshr::{Mshr, MshrOutcome};
 pub use prefetch::{PrefetchConfig, StreamPrefetcher};
 pub use req::{AccessKind, Completion, MemReq, ReqId};
@@ -202,7 +202,8 @@ mod invariant_tests {
                         kind,
                     },
                     i as u64,
-                );
+                )
+                .expect("tile in range");
                 assert!(pending.insert(id));
             }
             let mut t = addrs.len() as u64;

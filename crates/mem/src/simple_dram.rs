@@ -69,12 +69,6 @@ pub struct SimpleDram {
     throttled_cycles: u64,
     /// Last cycle `step` was called with (for analytic throttle credit).
     last_step: u64,
-    /// Set when the previous `step` hit the bandwidth cap with a ready
-    /// head: the epoch boundary before which every cycle counts as
-    /// throttled. Cycles between sparse `step` calls are credited
-    /// analytically from this, so `throttled_cycles` is identical whether
-    /// the caller steps every cycle or fast-forwards between events.
-    pending_throttle_boundary: Option<u64>,
 }
 
 impl SimpleDram {
@@ -90,7 +84,6 @@ impl SimpleDram {
             total_returned: 0,
             throttled_cycles: 0,
             last_step: 0,
-            pending_throttle_boundary: None,
         }
     }
 
@@ -110,13 +103,21 @@ impl SimpleDram {
 
     /// Advances to cycle `now`, returning the requests that complete.
     pub fn step(&mut self, now: u64) -> Vec<ReqId> {
-        // Credit the cycles since the previous step during which the cap
-        // provably kept blocking the ready head (it stays blocked until
-        // the epoch boundary observed then). When the caller steps every
-        // cycle the credited span is empty and only the `+= 1` below
-        // counts, exactly as a per-cycle accounting would.
-        if let Some(boundary) = self.pending_throttle_boundary.take() {
-            self.throttled_cycles += now.min(boundary).saturating_sub(self.last_step + 1);
+        // Credit the cycles in `(last_step, now)` during which the cap
+        // provably kept blocking a ready head: the queue cannot change
+        // between steps (enqueues happen at stepped cycles), so the head
+        // was blocked from the later of its ready time and the previous
+        // step until the epoch boundary. When the caller steps every cycle
+        // the credited span is empty and only the `+= 1` below counts,
+        // exactly as a per-cycle accounting would — which is what keeps
+        // `throttled_cycles` identical whether the caller steps densely or
+        // fast-forwards between events.
+        if self.returned_this_epoch >= self.config.max_per_epoch {
+            if let Some(Reverse((ready, _, _))) = self.queue.peek().copied() {
+                let boundary = self.epoch_start + self.config.epoch_cycles;
+                let start = (self.last_step + 1).max(ready);
+                self.throttled_cycles += now.min(boundary).saturating_sub(start);
+            }
         }
         self.last_step = now;
         // Roll the epoch window forward.
@@ -132,8 +133,6 @@ impl SimpleDram {
             }
             if self.returned_this_epoch >= self.config.max_per_epoch {
                 self.throttled_cycles += 1;
-                self.pending_throttle_boundary =
-                    Some(self.epoch_start + self.config.epoch_cycles);
                 break;
             }
             self.queue.pop();

@@ -1,6 +1,18 @@
-//! Temporary review repro: sparse stepping (as the fast-forward scheduler
-//! does, stepping only at next_event_cycle) vs per-cycle stepping must
-//! produce identical throttled_cycles.
+//! Guards the fast-forward equivalence invariant of [`SimpleDram`]'s
+//! bandwidth-throttle accounting: stepping the model *sparsely* — only at
+//! the cycles `next_event_cycle` names, as the event-horizon scheduler
+//! does — must produce the same completions **and** the same
+//! `throttled_cycles` as stepping it on every cycle. The interesting case
+//! is a throttle window no sparse step ever lands inside: request B below
+//! is ready at cycle 30 but the 1-transfer/epoch cap holds it until cycle
+//! 100, and the sparse schedule jumps straight from 20 to 100. The dense
+//! stepper observes cycles 30..100 as throttled one by one; the sparse
+//! stepper must credit the same 70 cycles analytically from queue + epoch
+//! state, or bandwidth-bound kernel reports (paper §VI-A, SPMV) would
+//! change with the fast-forward setting.
+//!
+//! Promoted from a PR 1 review repro (`tmp_throttle_repro.rs`), which
+//! caught exactly this divergence.
 
 use mosaic_mem::{SimpleDram, SimpleDramConfig};
 

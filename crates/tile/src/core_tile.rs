@@ -26,12 +26,14 @@ use std::sync::Arc;
 
 use mosaic_ddg::{InstClass, MemKind, StaticDdg};
 use mosaic_ir::{BlockId, FuncId, InstId, Module, Opcode};
-use mosaic_mem::{AccessKind, MemReq, ReqId};
+use mosaic_mem::{AccessKind, MemError, MemReq, ReqId};
 use mosaic_trace::TileTrace;
 
 use crate::config::{fused_insts, BranchMode, CoreConfig};
 use crate::mao::{Mao, MaoStall};
-use crate::{Channel, ChannelSet, Horizon, Tile, TileCtx, TileStats};
+use crate::{
+    Channel, ChannelSet, Horizon, StallReason, Tile, TileCtx, TileError, TileStallInfo, TileStats,
+};
 
 /// Role of an instruction under the DeSC extensions (paper §VII-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -311,7 +313,15 @@ impl CoreTile {
         }
     }
 
-    fn launch_dbbs(&mut self, now: u64) {
+    /// [`TileError::TraceUnderrun`] for `inst`, naming this tile.
+    fn trace_underrun(&self, inst: InstId) -> TileError {
+        TileError::TraceUnderrun {
+            tile: self.config.name.clone(),
+            inst: format!("{inst}"),
+        }
+    }
+
+    fn launch_dbbs(&mut self, now: u64) -> Result<(), TileError> {
         loop {
             if self.accel_busy_until.is_some() {
                 break;
@@ -329,11 +339,12 @@ impl CoreTile {
             if self.insts.len() as u64 + block_len > self.config.max_inflight {
                 break;
             }
-            self.launch_one(block, now);
+            self.launch_one(block, now)?;
         }
+        Ok(())
     }
 
-    fn launch_one(&mut self, block: BlockId, now: u64) {
+    fn launch_one(&mut self, block: BlockId, now: u64) -> Result<(), TileError> {
         self.path_pos += 1;
         let dbb = self.next_dbb;
         self.next_dbb += 1;
@@ -358,7 +369,12 @@ impl CoreTile {
 
             let mut parents: Vec<u64> = Vec::new();
             if node.class() == InstClass::Phi {
-                let prev = prev_block.expect("phi block must have a predecessor in the trace");
+                let Some(prev) = prev_block else {
+                    return Err(TileError::PhiWithoutPredecessor {
+                        tile: self.config.name.clone(),
+                        block: format!("bb{}", block.index()),
+                    });
+                };
                 if let Some((_, Some(def))) =
                     node.phi_incoming().iter().find(|(b, _)| *b == prev)
                 {
@@ -390,17 +406,20 @@ impl CoreTile {
             // during this very launch) impose no dependency.
             parents.retain(|p| self.insts.contains_key(p));
 
-            let mem = node.mem_kind().map(|k| {
-                let access = self
-                    .next_mem_access(sid)
-                    .unwrap_or_else(|| panic!("trace underrun for memory inst {sid}"));
-                let kind = match k {
-                    MemKind::Load => AccessKind::Read,
-                    MemKind::Store => AccessKind::Write,
-                    MemKind::Atomic(_) => AccessKind::Atomic,
-                };
-                (access.addr, access.size, kind)
-            });
+            let mem = match node.mem_kind() {
+                Some(k) => {
+                    let access = self
+                        .next_mem_access(sid)
+                        .ok_or_else(|| self.trace_underrun(sid))?;
+                    let kind = match k {
+                        MemKind::Load => AccessKind::Read,
+                        MemKind::Store => AccessKind::Write,
+                        MemKind::Atomic(_) => AccessKind::Atomic,
+                    };
+                    Some((access.addr, access.size, kind))
+                }
+                None => None,
+            };
             if let Some((addr, _, kind)) = mem {
                 // DeSC-detached memory ops live in the terminal-load /
                 // store buffers, outside the MAO (their ordering is
@@ -416,7 +435,7 @@ impl CoreTile {
             let accel_args = if node.class() == InstClass::Accel {
                 Some(
                     self.next_accel_args(sid)
-                        .unwrap_or_else(|| panic!("trace underrun for accel inst {sid}")),
+                        .ok_or_else(|| self.trace_underrun(sid))?,
                 )
             } else {
                 None
@@ -493,6 +512,7 @@ impl CoreTile {
                 }
             }
         };
+        Ok(())
     }
 
     fn make_ready(&mut self, seq: u64, now: u64) {
@@ -567,7 +587,15 @@ impl CoreTile {
         }
     }
 
-    fn issue(&mut self, ctx: &mut TileCtx<'_>) {
+    /// Wraps a hierarchy rejection with this tile's name.
+    fn mem_err(&self, source: MemError) -> TileError {
+        TileError::Mem {
+            tile: self.config.name.clone(),
+            source,
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut TileCtx<'_>) -> Result<(), TileError> {
         let now = ctx.now;
         let mut width_left = self.config.issue_width;
         let window_limit = self.window_head() + self.config.window_size;
@@ -664,30 +692,36 @@ impl CoreTile {
                             // Fire and forget: the pipeline retires the load
                             // now; hardware pushes the data into the channel
                             // when memory responds.
-                            let id = ctx.mem.request(
-                                MemReq {
-                                    tile: self.mem_slot,
-                                    addr,
-                                    size,
-                                    kind,
-                                },
-                                now,
-                            );
+                            let id = ctx
+                                .mem
+                                .request(
+                                    MemReq {
+                                        tile: self.mem_slot,
+                                        addr,
+                                        size,
+                                        kind,
+                                    },
+                                    now,
+                                )
+                                .map_err(|e| self.mem_err(e))?;
                             self.mem_detached
                                 .insert(id, Some(queue + self.config.queue_offset));
                             self.detached_outstanding += 1;
                             self.complete_inst(seq, now);
                         }
                         Some(DescRole::DetachedStore) => {
-                            let id = ctx.mem.request(
-                                MemReq {
-                                    tile: self.mem_slot,
-                                    addr,
-                                    size,
-                                    kind,
-                                },
-                                now,
-                            );
+                            let id = ctx
+                                .mem
+                                .request(
+                                    MemReq {
+                                        tile: self.mem_slot,
+                                        addr,
+                                        size,
+                                        kind,
+                                    },
+                                    now,
+                                )
+                                .map_err(|e| self.mem_err(e))?;
                             self.mem_detached.insert(id, None);
                             self.detached_outstanding += 1;
                             self.complete_inst(seq, now);
@@ -697,15 +731,18 @@ impl CoreTile {
                             if class == InstClass::Atomic {
                                 self.atomic_outstanding += 1;
                             }
-                            let id = ctx.mem.request(
-                                MemReq {
-                                    tile: self.mem_slot,
-                                    addr,
-                                    size,
-                                    kind,
-                                },
-                                now,
-                            );
+                            let id = ctx
+                                .mem
+                                .request(
+                                    MemReq {
+                                        tile: self.mem_slot,
+                                        addr,
+                                        size,
+                                        kind,
+                                    },
+                                    now,
+                                )
+                                .map_err(|e| self.mem_err(e))?;
                             self.mem_inflight.insert(id, seq);
                         }
                     }
@@ -732,7 +769,7 @@ impl CoreTile {
                         Opcode::AccelCall { accel, .. } => *accel,
                         _ => unreachable!("Accel class implies AccelCall"),
                     };
-                    let result = ctx.accel.invoke(accel_op, &args);
+                    let result = ctx.accel.invoke(accel_op, &args)?;
                     self.stats.accel_invocations += 1;
                     self.stats.accel_cycles += result.cycles;
                     self.stats.energy_pj += result.energy_pj;
@@ -745,6 +782,7 @@ impl CoreTile {
                 }
             }
         }
+        Ok(())
     }
 
     /// Read-only dry run of what `step()` would do at cycle `now`,
@@ -908,6 +946,63 @@ impl CoreTile {
         }
         Survey::Blocked { wake, stalls }
     }
+
+    /// Classifies one ready candidate by the first check that would
+    /// reject it, mirroring `issue()`'s order. `None` means it would
+    /// issue.
+    fn classify_blocked(&self, seq: u64, now: u64, channels: &ChannelSet) -> Option<StallReason> {
+        let di = &self.insts[&seq];
+        let window_exempt = matches!(
+            di.desc,
+            Some(DescRole::TerminalLoad { .. } | DescRole::StoreRecv | DescRole::DetachedStore)
+        );
+        if seq >= self.window_head() + self.config.window_size && !window_exempt {
+            return Some(StallReason::Window);
+        }
+        let fu_limit = self.config.fu.limit(di.class);
+        if fu_limit != u32::MAX && self.fu_busy.get(&di.class).copied().unwrap_or(0) >= fu_limit {
+            return Some(StallReason::FuncUnit);
+        }
+        match di.class {
+            InstClass::Load | InstClass::Store | InstClass::Atomic => {
+                if di.class == InstClass::Atomic && self.atomic_outstanding > 0 {
+                    return Some(StallReason::Memory);
+                }
+                if matches!(
+                    di.desc,
+                    Some(DescRole::TerminalLoad { .. } | DescRole::DetachedStore)
+                ) {
+                    if self.detached_outstanding >= self.config.desc_buffer {
+                        return Some(StallReason::Memory);
+                    }
+                } else if self.mao.probe(seq).is_some() {
+                    return Some(StallReason::Memory);
+                }
+            }
+            InstClass::Send => {
+                let q =
+                    self.ddg.node(di.static_id).queue().expect("send has queue")
+                        + self.config.queue_offset;
+                if !channels.would_have_space(q) {
+                    return Some(StallReason::SendFull { queue: q });
+                }
+            }
+            InstClass::Recv => {
+                let q =
+                    self.ddg.node(di.static_id).queue().expect("recv has queue")
+                        + self.config.queue_offset;
+                let mature = channels.channel(q).and_then(Channel::next_recv_ready);
+                if !matches!(mature, Some(r) if r <= now) {
+                    return Some(StallReason::RecvEmpty { queue: q });
+                }
+            }
+            InstClass::Accel if self.accel_busy_until.is_some() => {
+                return Some(StallReason::FuncUnit);
+            }
+            _ => {}
+        }
+        None
+    }
 }
 
 impl Tile for CoreTile {
@@ -932,9 +1027,9 @@ impl Tile for CoreTile {
         }
     }
 
-    fn step(&mut self, ctx: &mut TileCtx<'_>) {
+    fn step(&mut self, ctx: &mut TileCtx<'_>) -> Result<(), TileError> {
         if self.done {
-            return;
+            return Ok(());
         }
         let now = ctx.now;
         self.stats.cycles = self.stats.cycles.max(now);
@@ -970,8 +1065,8 @@ impl Tile for CoreTile {
             self.complete_inst(seq, now);
         }
 
-        self.launch_dbbs(now);
-        self.issue(ctx);
+        self.launch_dbbs(now)?;
+        self.issue(ctx)?;
 
         if self.path_pos >= self.trace.path().len()
             && self.incomplete.is_empty()
@@ -983,6 +1078,7 @@ impl Tile for CoreTile {
             self.done = true;
             self.stats.done_at = Some(now);
         }
+        Ok(())
     }
 
     fn is_done(&self) -> bool {
@@ -1049,6 +1145,68 @@ impl Tile for CoreTile {
             + self.stats.issued
             + self.stats.dbbs_launched
             + self.stats.accel_invocations
+    }
+
+    fn stall_info(&self, now: u64, channels: &ChannelSet) -> TileStallInfo {
+        // Pick the highest-priority blocked candidate across the whole
+        // ready set: channel waits (the wait-for edges of a deadlock)
+        // outrank memory waits outrank structural stalls, so the snapshot
+        // names the blocking channel even when an older window-stalled
+        // instruction sits earlier in issue order. Everything read here is
+        // architectural state — identical at a given cycle under the
+        // fast-forward and naive schedulers — never a cumulative counter.
+        let rank = |r: &StallReason| match r {
+            StallReason::SendFull { .. }
+            | StallReason::RecvEmpty { .. }
+            | StallReason::ChannelPush { .. } => 0u8,
+            StallReason::Memory => 1,
+            StallReason::Window => 2,
+            StallReason::FuncUnit => 3,
+            StallReason::LaunchGate => 4,
+            StallReason::Idle => 5,
+        };
+        let mut best: Option<(StallReason, Option<u32>)> = None;
+        let mut consider = |reason: StallReason, inst: Option<u32>| {
+            if best.as_ref().is_none_or(|(b, _)| rank(&reason) < rank(b)) {
+                best = Some((reason, inst));
+            }
+        };
+        for &seq in &self.ready {
+            if let Some(reason) = self.classify_blocked(seq, now, channels) {
+                let sid = self.insts[&seq].static_id;
+                consider(reason, Some(sid.index() as u32));
+            }
+        }
+        if let Some(&queue) = self.pending_pushes.front() {
+            if !channels.would_have_space(queue) {
+                consider(StallReason::ChannelPush { queue }, None);
+            }
+        }
+        if !self.done
+            && (!self.mem_inflight.is_empty()
+                || !self.mem_detached.is_empty()
+                || self.atomic_outstanding > 0)
+        {
+            consider(StallReason::Memory, None);
+        }
+        if !self.done
+            && self.peek_path(0).is_some()
+            && matches!(
+                self.gate,
+                LaunchGate::WaitTerminator { .. } | LaunchGate::WaitUntil(_)
+            )
+        {
+            consider(StallReason::LaunchGate, None);
+        }
+        let (reason, inst) = best.unwrap_or((StallReason::Idle, None));
+        TileStallInfo {
+            tile: self.config.name.clone(),
+            reason,
+            inst,
+            pc: self.path_pos,
+            retired: self.stats.retired,
+            mem_in_flight: self.mem_inflight.len() + self.mem_detached.len(),
+        }
     }
 }
 

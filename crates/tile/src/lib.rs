@@ -31,7 +31,161 @@ pub use core_tile::{accelerator_tile, CoreTile};
 pub use mao::{Mao, MaoStall};
 
 use mosaic_ir::AccelOp;
-use mosaic_mem::{MemoryHierarchy, ReqId};
+use mosaic_mem::{MemError, MemoryHierarchy, ReqId};
+
+/// Errors a tile step can surface for malformed inputs: trace/kernel
+/// mismatches, missing accelerator models, or rejected memory requests.
+///
+/// These conditions used to panic deep inside the engine; as typed errors
+/// they propagate through `Interleaver::run` so a sweep can report one bad
+/// configuration and keep going.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileError {
+    /// The dynamic trace ran out of entries for a memory or accelerator
+    /// instruction — the trace does not match the kernel being replayed.
+    TraceUnderrun {
+        /// Tile display name.
+        tile: String,
+        /// The static instruction whose trace stream ran dry.
+        inst: String,
+    },
+    /// A phi launched in the first DBB of the path, so it has no taken
+    /// predecessor to select an incoming value from — the recorded path
+    /// does not start at a real function entry.
+    PhiWithoutPredecessor {
+        /// Tile display name.
+        tile: String,
+        /// The block containing the phi.
+        block: String,
+    },
+    /// The kernel invoked an accelerator but the system has no
+    /// accelerator model configured.
+    NoAccelerator {
+        /// The accelerator op the kernel invoked.
+        accel: String,
+    },
+    /// The memory hierarchy rejected a request from this tile.
+    Mem {
+        /// Tile display name.
+        tile: String,
+        /// The underlying memory error.
+        source: MemError,
+    },
+}
+
+impl std::fmt::Display for TileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileError::TraceUnderrun { tile, inst } => write!(
+                f,
+                "tile {tile}: trace underrun at instruction {inst} (trace does not match kernel)"
+            ),
+            TileError::PhiWithoutPredecessor { tile, block } => write!(
+                f,
+                "tile {tile}: phi in block {block} launched with no predecessor DBB"
+            ),
+            TileError::NoAccelerator { accel } => write!(
+                f,
+                "kernel invoked {accel} but the system has no accelerator model"
+            ),
+            TileError::Mem { tile, source } => write!(f, "tile {tile}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for TileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TileError::Mem { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Why a blocked tile cannot advance, as reported in a deadlock snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// Waiting to receive from channel `queue`, which has no mature entry.
+    RecvEmpty {
+        /// The channel being received from.
+        queue: u32,
+    },
+    /// Waiting to send into channel `queue`, which is at capacity.
+    SendFull {
+        /// The channel being sent into.
+        queue: u32,
+    },
+    /// A hardware channel push (DeSC terminal load) waits for space in
+    /// channel `queue`.
+    ChannelPush {
+        /// The channel being pushed into.
+        queue: u32,
+    },
+    /// Waiting on the memory system (MAO ordering, outstanding atomics,
+    /// DeSC buffers, or in-flight requests).
+    Memory,
+    /// The sliding instruction window (ROB) blocks issue.
+    Window,
+    /// Functional-unit limits (or a busy accelerator) block issue.
+    FuncUnit,
+    /// Waiting for a terminator or mispredict penalty before launching
+    /// the next DBB.
+    LaunchGate,
+    /// No blocked work identified (tile is done or has nothing pending).
+    Idle,
+}
+
+impl std::fmt::Display for StallReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StallReason::RecvEmpty { queue } => write!(f, "recv on empty channel {queue}"),
+            StallReason::SendFull { queue } => write!(f, "send into full channel {queue}"),
+            StallReason::ChannelPush { queue } => {
+                write!(f, "hardware push into full channel {queue}")
+            }
+            StallReason::Memory => write!(f, "waiting on memory"),
+            StallReason::Window => write!(f, "instruction window full"),
+            StallReason::FuncUnit => write!(f, "functional units busy"),
+            StallReason::LaunchGate => write!(f, "launch gate closed"),
+            StallReason::Idle => write!(f, "idle"),
+        }
+    }
+}
+
+/// One tile's entry in a deadlock snapshot: the frozen, architectural
+/// facts about why it cannot advance. Deliberately excludes cumulative
+/// stall counters, which differ between the fast-forward and naive
+/// schedulers at the moment a deadlock is diagnosed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileStallInfo {
+    /// Tile display name.
+    pub tile: String,
+    /// Primary blocked reason (channel waits outrank memory waits
+    /// outrank structural stalls, so wait-for edges surface first).
+    pub reason: StallReason,
+    /// Static id of the instruction the reason refers to, if any.
+    pub inst: Option<u32>,
+    /// Position in the dynamic DBB path — the tile's control-flow "PC".
+    pub pc: usize,
+    /// Dynamic instructions retired so far.
+    pub retired: u64,
+    /// Memory requests in flight from this tile.
+    pub mem_in_flight: usize,
+}
+
+impl std::fmt::Display for TileStallInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} (path pos {}, retired {}, {} mem requests in flight",
+            self.tile, self.reason, self.pc, self.retired, self.mem_in_flight
+        )?;
+        match self.inst {
+            Some(i) => write!(f, ", at inst %{i})"),
+            None => write!(f, ")"),
+        }
+    }
+}
 
 /// Performance estimate returned by an accelerator model when invoked
 /// (paper §IV-A: "the accelerator tile model returns to the Interleaver a
@@ -52,24 +206,27 @@ pub struct AccelResult {
 pub trait AccelSim {
     /// Returns the performance estimate for invoking `accel` with the
     /// dynamic `args` recorded in the trace.
-    fn invoke(&mut self, accel: AccelOp, args: &[i64]) -> AccelResult;
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`TileError::NoAccelerator`] (or another
+    /// [`TileError`]) when the invocation cannot be modeled; the error
+    /// aborts the invoking tile's run recoverably.
+    fn invoke(&mut self, accel: AccelOp, args: &[i64]) -> Result<AccelResult, TileError>;
 }
 
-/// An [`AccelSim`] for systems without accelerators.
-///
-/// # Panics
-///
-/// Panics if an accelerator is actually invoked — composing a kernel that
-/// calls accelerators with a system that has none is a configuration bug.
+/// An [`AccelSim`] for systems without accelerators: any actual
+/// invocation returns [`TileError::NoAccelerator`] — composing a kernel
+/// that calls accelerators with a system that has none is a configuration
+/// bug, surfaced as a recoverable error.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoAccel;
 
 impl AccelSim for NoAccel {
-    fn invoke(&mut self, accel: AccelOp, _args: &[i64]) -> AccelResult {
-        panic!(
-            "kernel invoked {} but the system has no accelerator model",
-            accel.name()
-        );
+    fn invoke(&mut self, accel: AccelOp, _args: &[i64]) -> Result<AccelResult, TileError> {
+        Err(TileError::NoAccelerator {
+            accel: accel.name().to_string(),
+        })
     }
 }
 
@@ -183,7 +340,14 @@ pub trait Tile {
     fn on_mem_completion(&mut self, id: ReqId, now: u64);
 
     /// Advances one cycle.
-    fn step(&mut self, ctx: &mut TileCtx<'_>);
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TileError`] when the step hits a malformed-input
+    /// condition (trace/kernel mismatch, missing accelerator model,
+    /// rejected memory request). The tile's state is unspecified after an
+    /// error; the Interleaver aborts the run with it.
+    fn step(&mut self, ctx: &mut TileCtx<'_>) -> Result<(), TileError>;
 
     /// Whether the tile has drained all work.
     fn is_done(&self) -> bool;
@@ -221,6 +385,26 @@ pub trait Tile {
     /// (always 0, i.e. every cycle looks quiet) is safe for any tile.
     fn progress_mark(&self) -> u64 {
         0
+    }
+
+    /// A frozen description of why this tile cannot advance, taken when
+    /// the Interleaver diagnoses a deadlock or watchdog timeout.
+    ///
+    /// Implementations must derive it from architectural state only —
+    /// never from cumulative stall counters — so the snapshot is
+    /// bit-identical whether the deadlock was found by the fast-forward
+    /// scheduler or by the naive watchdog. The default reports
+    /// [`StallReason::Idle`].
+    fn stall_info(&self, now: u64, channels: &ChannelSet) -> TileStallInfo {
+        let _ = (now, channels);
+        TileStallInfo {
+            tile: self.name().to_string(),
+            reason: StallReason::Idle,
+            inst: None,
+            pc: 0,
+            retired: self.stats().retired,
+            mem_in_flight: 0,
+        }
     }
 }
 
@@ -306,7 +490,7 @@ mod tests {
                 channels: &mut channels,
                 accel: &mut accel,
             };
-            tile.step(&mut ctx);
+            tile.step(&mut ctx).expect("step");
             now += 1;
             assert!(now < 10_000_000, "tile did not finish");
         }
@@ -488,14 +672,14 @@ mod tests {
                 channels: &mut channels,
                 accel: &mut accel,
             };
-            t0.step(&mut ctx);
+            t0.step(&mut ctx).expect("step");
             let mut ctx = TileCtx {
                 now,
                 mem: &mut mem,
                 channels: &mut channels,
                 accel: &mut accel,
             };
-            t1.step(&mut ctx);
+            t1.step(&mut ctx).expect("step");
             now += 1;
             assert!(now < 1_000_000, "send/recv tiles deadlocked");
         }
@@ -558,12 +742,12 @@ mod tests {
 
         struct FixedAccel;
         impl AccelSim for FixedAccel {
-            fn invoke(&mut self, _a: AccelOp, _args: &[i64]) -> AccelResult {
-                AccelResult {
+            fn invoke(&mut self, _a: AccelOp, _args: &[i64]) -> Result<AccelResult, TileError> {
+                Ok(AccelResult {
                     cycles: 500,
                     energy_pj: 1000.0,
                     bytes: 64,
-                }
+                })
             }
         }
         let mut mem = small_mem(1);
@@ -588,7 +772,7 @@ mod tests {
                 channels: &mut channels,
                 accel: &mut accel,
             };
-            tile.step(&mut ctx);
+            tile.step(&mut ctx).expect("step");
             now += 1;
             assert!(now < 100_000);
         }
@@ -684,7 +868,7 @@ mod bimodal_tests {
                 channels: &mut channels,
                 accel: &mut accel,
             };
-            tile.step(&mut ctx);
+            tile.step(&mut ctx).expect("step");
             now += 1;
             assert!(now < 10_000_000);
         }

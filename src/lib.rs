@@ -66,8 +66,8 @@ pub mod prelude {
     pub use mosaic_accel::{AccelBank, AccelConfig};
     pub use mosaic_core::{
         dae_channel, dae_memory, load_system_config, parse_system_config, record_trace,
-        simulate_single, simulate_spmd, small_memory, xeon_memory, EnergyModel, SimReport,
-        SystemBuilder,
+        simulate_single, simulate_spmd, small_memory, xeon_memory, EnergyModel, MosaicError,
+        SimError, SimReport, StallSnapshot, SystemBuilder,
     };
     pub use mosaic_ir::{
         parse_module, print_module, verify_module, BinOp, Constant, FunctionBuilder, MemImage,

@@ -86,6 +86,66 @@ fn fast_forward_is_bit_identical_to_naive() {
     }
 }
 
+/// Error verdicts are part of the differential contract too: a deadlock
+/// must produce the *same* [`SimError::Deadlock`] — same blocked cycle,
+/// same per-tile reasons, same channel occupancies — whether it is found
+/// by the fast-forward event survey or by the naive-path watchdog.
+#[test]
+fn deadlock_verdict_is_bit_identical_to_naive() {
+    use mosaicsim::core::{record_trace, MosaicError, SimError};
+    use mosaicsim::ir::{Constant, FunctionBuilder, MemImage, Module, RtVal, TileProgram, Type};
+
+    let mut m = Module::new("dl");
+    let produce = m.add_function("produce", vec![("n".into(), Type::I64)], Type::Void);
+    let mut b = FunctionBuilder::new(m.function_mut(produce));
+    let n = b.param(0);
+    let e = b.create_block("entry");
+    b.switch_to(e);
+    b.emit_counted_loop("i", Constant::i64(0).into(), n, |b, i| b.send(0, i));
+    b.ret(None);
+    let consume = m.add_function("consume", vec![("n".into(), Type::I64)], Type::Void);
+    let mut b = FunctionBuilder::new(m.function_mut(consume));
+    let n = b.param(0);
+    let e = b.create_block("entry");
+    b.switch_to(e);
+    b.emit_counted_loop("i", Constant::i64(0).into(), n, |b, _| {
+        b.recv(0, Type::I64);
+    });
+    b.ret(None);
+    mosaicsim::ir::verify_module(&m).expect("verify");
+
+    // Producer sends 64, consumer takes 16: the producer eventually
+    // deadlocks against the capacity-8 channel.
+    let programs = vec![
+        TileProgram::single(produce, vec![RtVal::Int(64)]),
+        TileProgram::single(consume, vec![RtVal::Int(16)]),
+    ];
+    let (trace, _) = record_trace(&m, MemImage::new(), &programs).expect("functional run");
+    let (m, trace) = (Arc::new(m), Arc::new(trace));
+
+    let run = |fast_forward: bool| {
+        SystemBuilder::new(m.clone(), trace.clone())
+            .memory(xeon_memory())
+            .channels(ChannelConfig {
+                capacity: 8,
+                latency: 1,
+            })
+            .core(CoreConfig::in_order().with_name("p"), produce, 0)
+            .core(CoreConfig::in_order().with_name("c"), consume, 1)
+            .fast_forward(fast_forward)
+            .watchdog_window(16)
+            .run()
+            .expect_err("must deadlock")
+    };
+    let naive = run(false);
+    let fast = run(true);
+    assert!(
+        matches!(&fast, MosaicError::Sim(SimError::Deadlock { .. })),
+        "expected deadlock, got {fast:?}"
+    );
+    assert_eq!(naive, fast, "deadlock verdict diverged between modes");
+}
+
 /// Fast-forwarding must also preserve behavior under a banked
 /// (DRAMSim-style) backend, whose horizon comes from bank state rather
 /// than the SimpleDRAM epoch equation.
