@@ -32,6 +32,9 @@ pub enum MosaicError {
         /// The panic payload, when it was a string.
         context: String,
     },
+    /// The pre-simulation lint gate found problems and the builder's
+    /// lint level is [`mosaic_lint::LintLevel::Deny`].
+    Lint(mosaic_lint::LintReport),
 }
 
 impl std::fmt::Display for MosaicError {
@@ -43,6 +46,7 @@ impl std::fmt::Display for MosaicError {
             MosaicError::Exec(e) => write!(f, "trace generation failed: {e}"),
             MosaicError::Sim(e) => write!(f, "simulation failed: {e}"),
             MosaicError::Panic { context } => write!(f, "simulation panicked: {context}"),
+            MosaicError::Lint(report) => write!(f, "lint gate failed:\n{report}"),
         }
     }
 }

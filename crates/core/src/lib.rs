@@ -57,6 +57,7 @@ pub use config_file::{load_system_config, parse_system_config, ConfigError};
 pub use energy::EnergyModel;
 pub use error::MosaicError;
 pub use interleaver::{ChannelSnapshot, Interleaver, SimError, StallSnapshot};
+pub use mosaic_lint::{LintLevel, LintReport};
 pub use runner::{record_trace, simulate_single, simulate_spmd};
 pub use system::{SimReport, SystemBuilder};
 

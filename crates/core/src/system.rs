@@ -10,6 +10,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use mosaic_ir::{FuncId, Module};
+use mosaic_lint::{lint_system, LintLevel, TileBinding};
 use mosaic_mem::{CacheConfig, DramKind, HierarchyConfig, MemStats, MemoryHierarchy};
 use mosaic_tile::{
     AccelSim, ChannelConfig, ChannelSet, CoreConfig, CoreTile, NoAccel, Tile, TileStats,
@@ -140,6 +141,7 @@ pub struct SystemBuilder {
     cycle_limit: u64,
     fast_forward: bool,
     watchdog_window: Option<u64>,
+    lint: LintLevel,
 }
 
 impl fmt::Debug for SystemBuilder {
@@ -164,7 +166,17 @@ impl SystemBuilder {
             cycle_limit: 2_000_000_000,
             fast_forward: true,
             watchdog_window: None,
+            lint: LintLevel::default(),
         }
+    }
+
+    /// Sets the pre-simulation lint gate's strictness (default
+    /// [`LintLevel::Warn`]): `Off` skips the linter, `Warn` prints
+    /// findings to stderr, `Deny` fails `build` with
+    /// [`MosaicError::Lint`] on any finding.
+    pub fn lint(mut self, level: LintLevel) -> Self {
+        self.lint = level;
+        self
     }
 
     /// Enables or disables the Interleaver's event-horizon fast-forward
@@ -305,14 +317,42 @@ impl SystemBuilder {
         Ok(())
     }
 
+    /// Runs the static linter over the configured system (each tile's
+    /// function under its queue offset, arguments unknown) and enforces
+    /// the configured [`LintLevel`].
+    fn lint_gate(&self) -> Result<(), MosaicError> {
+        if self.lint == LintLevel::Off {
+            return Ok(());
+        }
+        let bindings: Vec<TileBinding> = self
+            .tiles
+            .iter()
+            .map(|spec| {
+                let nparams = self.module.function(spec.func).params().len();
+                TileBinding::new(spec.func, spec.config.queue_offset, vec![None; nparams])
+            })
+            .collect();
+        let report = lint_system(&self.module, &bindings);
+        if report.fails(self.lint) {
+            return Err(MosaicError::Lint(report));
+        }
+        if !report.is_clean() {
+            eprintln!("mosaic-lint (builder gate):\n{report}");
+        }
+        Ok(())
+    }
+
     /// Builds the interleaver without running it (stepwise use).
     ///
     /// # Errors
     ///
     /// Returns [`MosaicError::InvalidConfig`] naming the offending field
-    /// when the configuration cannot be honored.
+    /// when the configuration cannot be honored, or [`MosaicError::Lint`]
+    /// when the lint level is [`LintLevel::Deny`] and the static linter
+    /// found problems.
     pub fn build(self) -> Result<Interleaver, MosaicError> {
         self.validate()?;
+        self.lint_gate()?;
         let ntiles = self.tiles.len();
         let mem = MemoryHierarchy::new(self.memory, ntiles.max(1));
         let channels = ChannelSet::new(self.channel);
@@ -368,6 +408,82 @@ impl SystemBuilder {
             mem_energy_pj: energy.memory_energy_pj(&mem_stats),
             static_energy_pj: energy.static_energy_pj(total_area, cycles),
         })
+    }
+}
+
+#[cfg(test)]
+mod lint_gate_tests {
+    //! The pre-simulation lint gate: `Deny` turns static findings into
+    //! [`MosaicError::Lint`] before any cycle runs; `Warn` (the default)
+    //! reports but still builds.
+
+    use std::sync::Arc;
+
+    use mosaic_ir::{Constant, FunctionBuilder, MemImage, Module, TileProgram, Type};
+    use mosaic_tile::CoreConfig;
+
+    use super::SystemBuilder;
+    use crate::error::MosaicError;
+    use crate::{record_trace, LintLevel};
+
+    /// Producer/consumer pair: one value over channel q0. The trace is
+    /// recorded with matched offsets; the builder then misconfigures the
+    /// consumer's queue offset, which only the static gate can catch
+    /// before simulation.
+    fn chatter_system() -> SystemBuilder {
+        let mut m = Module::new("chatter");
+        let p = m.add_function("produce", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(p));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.send(0, Constant::i64(42).into());
+        b.ret(None);
+        let c = m.add_function("consume", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(c));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.recv(0, Type::I64);
+        b.ret(None);
+        mosaic_ir::verify_module(&m).expect("verify");
+        let programs = vec![
+            TileProgram::single(p, vec![]),
+            TileProgram::single(c, vec![]),
+        ];
+        let (trace, _) = record_trace(&m, MemImage::new(), &programs).expect("trace");
+        SystemBuilder::new(Arc::new(m), Arc::new(trace))
+            .core(CoreConfig::in_order().with_name("produce"), p, 0)
+            .core(
+                CoreConfig::in_order()
+                    .with_name("consume")
+                    .with_queue_offset(7),
+                c,
+                1,
+            )
+    }
+
+    #[test]
+    fn deny_returns_lint_error_not_a_panic() {
+        match chatter_system().lint(LintLevel::Deny).build() {
+            Err(MosaicError::Lint(report)) => {
+                assert!(report.error_count() >= 2, "{report}");
+                let text = report.to_string();
+                assert!(text.contains("q0") && text.contains("q7"), "{text}");
+            }
+            Ok(_) => panic!("misconfigured system passed the deny gate"),
+            Err(other) => panic!("wrong error type: {other}"),
+        }
+    }
+
+    #[test]
+    fn warn_still_builds_and_off_skips() {
+        chatter_system()
+            .lint(LintLevel::Warn)
+            .build()
+            .expect("warn level must not fail the build");
+        chatter_system()
+            .lint(LintLevel::Off)
+            .build()
+            .expect("off level must not fail the build");
     }
 }
 

@@ -1,0 +1,301 @@
+//! Generic forward/backward dataflow over a lattice trait.
+//!
+//! An [`Analysis`] supplies the lattice state, the direction, boundary
+//! and initial values, and a per-block transfer function; [`solve`] runs
+//! a worklist to fixpoint and returns per-block input/output states.
+//! Termination follows from the usual argument: [`Lattice::join_from`]
+//! must be monotone (it only ever grows/refines the state and reports
+//! whether anything changed), and the lattices used here are finite.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+
+use super::cfg::Cfg;
+
+/// A join-semilattice value.
+pub trait Lattice: Clone {
+    /// Joins `other` into `self`; returns whether `self` changed.
+    fn join_from(&mut self, other: &Self) -> bool;
+}
+
+/// Which way the analysis propagates along the CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// From the entry toward the exits (e.g. defined values).
+    Forward,
+    /// From the exits toward the entry (e.g. liveness).
+    Backward,
+}
+
+/// A dataflow analysis: lattice + direction + transfer function.
+pub trait Analysis {
+    /// The lattice the analysis computes over.
+    type State: Lattice;
+
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+
+    /// State at the boundary: the entry block's input (forward) or every
+    /// exit block's output (backward).
+    fn boundary(&self, func: &Function) -> Self::State;
+
+    /// Initial state of every non-boundary program point (the lattice
+    /// bottom for may-analyses, top for must-analyses).
+    fn init(&self, func: &Function) -> Self::State;
+
+    /// Transfers `state` through `block`: forward analyses scan the block
+    /// top-down, backward analyses bottom-up.
+    fn transfer(&self, func: &Function, block: BlockId, state: &mut Self::State);
+}
+
+/// Fixpoint result: the state at each block's input and output edge.
+///
+/// For a forward analysis `input` is the join over predecessors and
+/// `output` is `transfer(input)`; for a backward analysis `output` is the
+/// join over successors and `input` is `transfer(output)`.
+#[derive(Debug, Clone)]
+pub struct BlockStates<S> {
+    /// State on entry to each block (top of block).
+    pub input: Vec<S>,
+    /// State on exit from each block (bottom of block).
+    pub output: Vec<S>,
+}
+
+/// Runs `analysis` over `func` to fixpoint with a worklist seeded in
+/// (reverse-)post-order. Unreachable blocks keep their [`Analysis::init`]
+/// state.
+pub fn solve<A: Analysis>(analysis: &A, func: &Function, cfg: &Cfg) -> BlockStates<A::State> {
+    let n = cfg.block_count();
+    let mut input: Vec<A::State> = (0..n).map(|_| analysis.init(func)).collect();
+    let mut output: Vec<A::State> = (0..n).map(|_| analysis.init(func)).collect();
+    let forward = analysis.direction() == Direction::Forward;
+
+    // Process order: RPO for forward, reverse RPO for backward, so most
+    // blocks see settled inputs on the first sweep.
+    let order: Vec<BlockId> = if forward {
+        cfg.rpo().to_vec()
+    } else {
+        cfg.rpo().iter().rev().copied().collect()
+    };
+
+    // Seed boundary states.
+    if forward {
+        if n > 0 {
+            input[0] = analysis.boundary(func);
+        }
+    } else {
+        for &e in cfg.exits() {
+            output[e.index()] = analysis.boundary(func);
+        }
+    }
+
+    let mut on_list = vec![false; n];
+    let mut work: std::collections::VecDeque<BlockId> = order.iter().copied().collect();
+    for b in &work {
+        on_list[b.index()] = true;
+    }
+
+    while let Some(b) = work.pop_front() {
+        on_list[b.index()] = false;
+        let (edges, dependents): (&[BlockId], &[BlockId]) = if forward {
+            (cfg.preds(b), cfg.succs(b))
+        } else {
+            (cfg.succs(b), cfg.preds(b))
+        };
+        // Join incoming edge states (skipping unreachable contributors):
+        // forward joins predecessor outputs, backward joins successor
+        // inputs.
+        let mut changed = false;
+        for &p in edges {
+            if !cfg.is_reachable(p) {
+                continue;
+            }
+            if forward {
+                let (from, to) = borrow_two(&mut input, &output, b.index(), p.index());
+                if to.join_from(from) {
+                    changed = true;
+                }
+            } else {
+                let (from, to) = borrow_two(&mut output, &input, b.index(), p.index());
+                if to.join_from(from) {
+                    changed = true;
+                }
+            }
+        }
+        // First visit always transfers; afterwards only when input moved.
+        let mut state = if forward {
+            input[b.index()].clone()
+        } else {
+            output[b.index()].clone()
+        };
+        analysis.transfer(func, b, &mut state);
+        let out_changed = {
+            let slot = if forward {
+                &mut output[b.index()]
+            } else {
+                &mut input[b.index()]
+            };
+            slot.join_from(&state)
+        };
+        if changed || out_changed {
+            for &d in dependents {
+                if cfg.is_reachable(d) && !on_list[d.index()] {
+                    on_list[d.index()] = true;
+                    work.push_back(d);
+                }
+            }
+        }
+    }
+
+    BlockStates { input, output }
+}
+
+/// Mutable slot from `dst` + shared element from `src`.
+fn borrow_two<'a, S>(
+    dst: &'a mut [S],
+    src: &'a [S],
+    dst_i: usize,
+    src_i: usize,
+) -> (&'a S, &'a mut S) {
+    (&src[src_i], &mut dst[dst_i])
+}
+
+/// A fixed-capacity bit set over dense indices (instructions, blocks).
+///
+/// This is the workhorse lattice: with set-union join it models may-
+/// information (liveness); wrapped in a must-analysis that initializes to
+/// the universe and intersects on join it models definite information
+/// (defined values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over `len` indices.
+    pub fn empty(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set over `len` indices.
+    pub fn full(len: usize) -> BitSet {
+        let mut s = BitSet::empty(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Number of indices the set ranges over.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`; returns whether it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        let new = *w & bit == 0;
+        *w |= bit;
+        new
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Unions `other` into `self`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// Intersects `other` into `self`; returns whether `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a &= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// Iterates over the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+impl Lattice for BitSet {
+    fn join_from(&mut self, other: &Self) -> bool {
+        self.union_with(other)
+    }
+}
+
+/// A [`BitSet`] with intersection join, for must-analyses. The lattice
+/// top (the [`Analysis::init`] value) is the full set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MustSet(pub BitSet);
+
+impl Lattice for MustSet {
+    fn join_from(&mut self, other: &Self) -> bool {
+        self.0.intersect_with(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_ops() {
+        let mut s = BitSet::empty(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(129) && !s.contains(64));
+        let mut t = BitSet::empty(130);
+        t.insert(64);
+        assert!(s.union_with(&t));
+        assert!(!s.union_with(&t));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        s.remove(64);
+        assert_eq!(s.count(), 2);
+        let full = BitSet::full(130);
+        assert_eq!(full.count(), 130);
+    }
+
+    #[test]
+    fn mustset_joins_by_intersection() {
+        let mut a = MustSet(BitSet::full(8));
+        let mut b = BitSet::empty(8);
+        b.insert(1);
+        b.insert(3);
+        assert!(a.join_from(&MustSet(b)));
+        assert_eq!(a.0.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+}

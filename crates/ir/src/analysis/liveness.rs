@@ -1,0 +1,216 @@
+//! SSA-value liveness, definite-definition, and demand analyses.
+//!
+//! Three clients of the generic solver live here:
+//!
+//! * [`Liveness`] — classic backward may-analysis: which SSA values are
+//!   live at each block boundary.
+//! * [`DefinedValues`] — forward must-analysis: which SSA values have
+//!   provably been defined on *every* path reaching a block. A use of a
+//!   value missing from this set is a use-before-initialize (its
+//!   definition does not dominate it).
+//! * [`demanded_values`] — the transitive closure of values reachable
+//!   from side-effecting roots; the shared oracle behind dead-code
+//!   elimination and the dead-value lint, so the two always agree.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+
+use super::cfg::Cfg;
+use super::dataflow::{solve, Analysis, BitSet, BlockStates, Direction, MustSet};
+
+/// Backward liveness of SSA values (indexed by instruction id).
+///
+/// Phi operands are treated as uses in the phi's own block, which
+/// over-approximates the edge-precise semantics; that is safe for every
+/// consumer here (lints only *suppress* reports for live values).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Liveness;
+
+impl Liveness {
+    /// Solves liveness for `func`, returning per-block live-in (`input`)
+    /// and live-out (`output`) sets over instruction indices.
+    pub fn compute(func: &Function, cfg: &Cfg) -> BlockStates<BitSet> {
+        solve(&Liveness, func, cfg)
+    }
+}
+
+impl Analysis for Liveness {
+    type State = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self, func: &Function) -> BitSet {
+        BitSet::empty(func.inst_count())
+    }
+
+    fn init(&self, func: &Function) -> BitSet {
+        BitSet::empty(func.inst_count())
+    }
+
+    fn transfer(&self, func: &Function, block: BlockId, state: &mut BitSet) {
+        for &id in func.block(block).insts().iter().rev() {
+            state.remove(id.index());
+            func.inst(id).op().for_each_operand(|o| {
+                if let Some(d) = o.as_inst() {
+                    state.insert(d.index());
+                }
+            });
+        }
+    }
+}
+
+/// Forward must-analysis of definitely-defined SSA values.
+///
+/// `input[b]` contains exactly the instruction ids defined on every path
+/// from the entry to the top of `b`; joins intersect, so a value defined
+/// on only one arm of a branch is *not* defined at the merge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefinedValues;
+
+impl DefinedValues {
+    /// Solves the analysis for `func`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> BlockStates<MustSet> {
+        solve(&DefinedValues, func, cfg)
+    }
+}
+
+impl Analysis for DefinedValues {
+    type State = MustSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, func: &Function) -> MustSet {
+        // Nothing is defined at the function entry (parameters and
+        // constants are always available and are not tracked).
+        MustSet(BitSet::empty(func.inst_count()))
+    }
+
+    fn init(&self, func: &Function) -> MustSet {
+        // Lattice top: assume everything defined until a path proves
+        // otherwise.
+        MustSet(BitSet::full(func.inst_count()))
+    }
+
+    fn transfer(&self, func: &Function, block: BlockId, state: &mut MustSet) {
+        for &id in func.block(block).insts() {
+            if func.inst(id).produces_value() {
+                state.0.insert(id.index());
+            }
+        }
+    }
+}
+
+/// Computes the set of *demanded* SSA values: everything transitively
+/// reachable, through operand edges, from an instruction with a side
+/// effect (stores, atomics, sends/recvs, accelerator calls, and
+/// terminators).
+///
+/// An instruction outside this set can be deleted without changing any
+/// observable behavior; `passes::dce` removes exactly the non-demanded
+/// value-producing instructions, and the dead-value lint reports them.
+pub fn demanded_values(func: &Function) -> BitSet {
+    let mut demanded = BitSet::empty(func.inst_count());
+    let mut work = Vec::new();
+    for block in func.blocks() {
+        for &id in block.insts() {
+            if func.inst(id).op().has_side_effect() && demanded.insert(id.index()) {
+                work.push(id);
+            }
+        }
+    }
+    while let Some(id) = work.pop() {
+        func.inst(id).op().for_each_operand(|o| {
+            if let Some(d) = o.as_inst() {
+                if demanded.insert(d.index()) {
+                    work.push(d);
+                }
+            }
+        });
+    }
+    demanded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Module;
+    use crate::inst::{BinOp, IntPredicate};
+    use crate::types::{Constant, Type};
+
+    #[test]
+    fn liveness_across_blocks() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("p".into(), Type::Ptr)], Type::I64);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let entry = b.create_block("entry");
+        let exit = b.create_block("exit");
+        b.switch_to(entry);
+        let v = b.load(Type::I64, b.param(0));
+        b.br(exit);
+        b.switch_to(exit);
+        b.ret(Some(v));
+        let func = m.function(f);
+        let cfg = Cfg::new(func);
+        let live = Liveness::compute(func, &cfg);
+        let vid = v.as_inst().unwrap().index();
+        assert!(live.output[entry.index()].contains(vid), "v live-out of entry");
+        assert!(live.input[exit.index()].contains(vid), "v live-in to exit");
+        assert!(!live.input[entry.index()].contains(vid), "v dead before its def");
+    }
+
+    #[test]
+    fn defined_values_intersect_at_merge() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("x".into(), Type::I64)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        let t = b.create_block("then");
+        let el = b.create_block("else");
+        let j = b.create_block("join");
+        b.switch_to(e);
+        let c = b.icmp(IntPredicate::Sgt, b.param(0), Constant::i64(0).into());
+        b.cond_br(c, t, el);
+        b.switch_to(t);
+        let only_then = b.bin(BinOp::Add, b.param(0), Constant::i64(1).into());
+        b.br(j);
+        b.switch_to(el);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        let func = m.function(f);
+        let cfg = Cfg::new(func);
+        let defined = DefinedValues::compute(func, &cfg);
+        let cid = c.as_inst().unwrap().index();
+        let tid = only_then.as_inst().unwrap().index();
+        assert!(defined.input[j.index()].0.contains(cid), "cond defined everywhere");
+        assert!(
+            !defined.input[j.index()].0.contains(tid),
+            "then-only value not definitely defined at join"
+        );
+        assert!(defined.output[t.index()].0.contains(tid));
+    }
+
+    #[test]
+    fn demand_reaches_through_stores_but_not_dead_math() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("p".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let idx = b.bin(BinOp::Add, Constant::i64(1).into(), Constant::i64(2).into());
+        let addr = b.gep(b.param(0), idx, 8);
+        b.store(addr, Constant::i64(7).into());
+        let dead = b.bin(BinOp::Mul, idx, Constant::i64(3).into());
+        b.ret(None);
+        let func = m.function(f);
+        let demanded = demanded_values(func);
+        assert!(demanded.contains(idx.as_inst().unwrap().index()));
+        assert!(demanded.contains(addr.as_inst().unwrap().index()));
+        assert!(!demanded.contains(dead.as_inst().unwrap().index()));
+    }
+}

@@ -1,0 +1,400 @@
+//! Natural-loop detection and static trip-count/execution-count bounds.
+//!
+//! Loops are found from back edges (an edge whose target dominates its
+//! source). For loops emitted in the canonical counted form the trip
+//! count is recovered symbolically — either a constant or a function
+//! parameter — and [`ExecCounts`] lifts those to per-block execution
+//! counts (a product of enclosing loop trips). Everything degrades to
+//! "unknown" rather than guessing: a reported count is a proof.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+use crate::inst::{BinOp, IntPredicate, Opcode, Operand};
+use crate::types::Constant;
+
+use super::cfg::{Cfg, DomTree};
+
+/// A natural loop: the target of one or more back edges plus every block
+/// that can reach a back edge without passing through the header.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the loop).
+    pub header: BlockId,
+    /// Sources of the back edges into `header`.
+    pub latches: Vec<BlockId>,
+    /// All member blocks, including the header.
+    pub blocks: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// Finds all natural loops of `func`. Back edges sharing a header are
+/// merged into a single loop.
+pub fn find_loops(func: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<NaturalLoop> {
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for &b in cfg.rpo() {
+        for &s in cfg.succs(b) {
+            if !dom.dominates(s, b) {
+                continue; // not a back edge
+            }
+            match loops.iter_mut().find(|l| l.header == s) {
+                Some(l) => l.latches.push(b),
+                None => loops.push(NaturalLoop {
+                    header: s,
+                    latches: vec![b],
+                    blocks: Vec::new(),
+                }),
+            }
+        }
+    }
+    // Loop body: backward reachability from the latches, stopping at the
+    // header.
+    for l in &mut loops {
+        let mut blocks = vec![l.header];
+        let mut work: Vec<BlockId> = Vec::new();
+        for &latch in &l.latches {
+            if !blocks.contains(&latch) {
+                blocks.push(latch);
+                work.push(latch);
+            }
+        }
+        while let Some(b) = work.pop() {
+            for &p in cfg.preds(b) {
+                if cfg.is_reachable(p) && !blocks.contains(&p) {
+                    blocks.push(p);
+                    work.push(p);
+                }
+            }
+        }
+        blocks.sort_by_key(|b| b.index());
+        l.blocks = blocks;
+    }
+    let _ = func;
+    loops
+}
+
+/// A symbolic loop trip count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trip {
+    /// The loop body runs exactly this many times (never negative).
+    Const(i64),
+    /// The loop body runs `max(0, value of parameter n)` times.
+    Param(u32),
+    /// No static bound could be proven.
+    Unknown,
+}
+
+/// Recovers the trip count of `lp` when it matches the canonical counted
+/// form the builder emits (`for i in start..end` with step 1):
+///
+/// * the header's terminator is `condbr (icmp slt %iv, end), body, exit`
+///   with `exit` outside the loop,
+/// * `%iv` is a header phi whose latch incoming is `add %iv, 1`,
+/// * `start`/`end` are constants, or `start` is `0` and `end` a
+///   parameter.
+///
+/// Anything else — extra exits, non-unit steps, computed bounds — is
+/// [`Trip::Unknown`].
+pub fn trip_count(func: &Function, lp: &NaturalLoop) -> Trip {
+    if lp.latches.len() != 1 {
+        return Trip::Unknown;
+    }
+    let latch = lp.latches[0];
+    let header = func.block(lp.header);
+    let Some(term) = header.terminator() else {
+        return Trip::Unknown;
+    };
+    let Opcode::CondBr {
+        cond,
+        on_true,
+        on_false,
+    } = func.inst(term).op()
+    else {
+        return Trip::Unknown;
+    };
+    if !lp.contains(*on_true) || lp.contains(*on_false) {
+        return Trip::Unknown; // exit must be the false edge only
+    }
+    let Some(cmp_id) = cond.as_inst() else {
+        return Trip::Unknown;
+    };
+    let Opcode::ICmp {
+        pred: IntPredicate::Slt,
+        lhs,
+        rhs: end,
+    } = func.inst(cmp_id).op()
+    else {
+        return Trip::Unknown;
+    };
+    let Some(phi_id) = lhs.as_inst() else {
+        return Trip::Unknown;
+    };
+    if func.inst(phi_id).block() != lp.header {
+        return Trip::Unknown;
+    }
+    let Opcode::Phi { incoming } = func.inst(phi_id).op() else {
+        return Trip::Unknown;
+    };
+    if incoming.len() != 2 {
+        return Trip::Unknown;
+    }
+    let (mut init, mut step_val) = (None, None);
+    for (pred, v) in incoming {
+        if *pred == latch {
+            step_val = Some(*v);
+        } else if !lp.contains(*pred) {
+            init = Some(*v);
+        }
+    }
+    let (Some(init), Some(step_val)) = (init, step_val) else {
+        return Trip::Unknown;
+    };
+    // The latch increment must be `add %iv, 1`.
+    let Some(step_id) = step_val.as_inst() else {
+        return Trip::Unknown;
+    };
+    let Opcode::Bin {
+        op: BinOp::Add,
+        lhs: step_lhs,
+        rhs: step_rhs,
+    } = func.inst(step_id).op()
+    else {
+        return Trip::Unknown;
+    };
+    if step_lhs.as_inst() != Some(phi_id)
+        || !matches!(step_rhs.as_const(), Some(Constant::Int(1, _)))
+    {
+        return Trip::Unknown;
+    }
+    match (init, *end) {
+        (Operand::Const(Constant::Int(a, _)), Operand::Const(Constant::Int(b, _))) => {
+            Trip::Const((b - a).max(0))
+        }
+        (Operand::Const(Constant::Int(0, _)), Operand::Param(p)) => Trip::Param(p),
+        _ => Trip::Unknown,
+    }
+}
+
+/// Provable per-block execution counts.
+///
+/// A block's count is the product of the trip counts of its enclosing
+/// loops, reported as a factor list (empty = the block runs exactly once
+/// per call). A count is only reported when it is exact:
+///
+/// * inside a loop the block must dominate the loop's single latch (run
+///   once per iteration) and the loop must have a recognized trip count
+///   and a unique preheader whose own count is known;
+/// * outside all loops the block must dominate every reachable exit
+///   (run on every path).
+///
+/// Loop headers, conditionally executed blocks, and blocks in
+/// unrecognized loops report `None`.
+#[derive(Debug, Clone)]
+pub struct ExecCounts {
+    counts: Vec<Option<Vec<Trip>>>,
+}
+
+impl ExecCounts {
+    /// Computes counts for every block of `func`.
+    pub fn compute(func: &Function, cfg: &Cfg, dom: &DomTree) -> ExecCounts {
+        let loops = find_loops(func, cfg, dom);
+        let n = cfg.block_count();
+        let mut counts: Vec<Option<Vec<Trip>>> = vec![None; n];
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = in progress, 2 = done
+        for b in (0..n).map(|i| BlockId(i as u32)) {
+            if cfg.is_reachable(b) {
+                Self::count_of(func, cfg, dom, &loops, b, &mut counts, &mut state);
+            }
+        }
+        ExecCounts { counts }
+    }
+
+    /// The factor list for `b`, or `None` when the count is not provable.
+    pub fn count(&self, b: BlockId) -> Option<&[Trip]> {
+        self.counts[b.index()].as_deref()
+    }
+
+    fn count_of(
+        func: &Function,
+        cfg: &Cfg,
+        dom: &DomTree,
+        loops: &[NaturalLoop],
+        b: BlockId,
+        counts: &mut Vec<Option<Vec<Trip>>>,
+        state: &mut Vec<u8>,
+    ) -> Option<Vec<Trip>> {
+        match state[b.index()] {
+            1 => return None, // defensive: cycle in the preheader chain
+            2 => return counts[b.index()].clone(),
+            _ => state[b.index()] = 1,
+        }
+        let result = Self::count_uncached(func, cfg, dom, loops, b, counts, state);
+        counts[b.index()] = result.clone();
+        state[b.index()] = 2;
+        result
+    }
+
+    fn count_uncached(
+        func: &Function,
+        cfg: &Cfg,
+        dom: &DomTree,
+        loops: &[NaturalLoop],
+        b: BlockId,
+        counts: &mut Vec<Option<Vec<Trip>>>,
+        state: &mut Vec<u8>,
+    ) -> Option<Vec<Trip>> {
+        // Innermost enclosing loop = smallest member set containing `b`.
+        let inner = loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .min_by_key(|l| l.blocks.len());
+        let Some(lp) = inner else {
+            // Outside all loops: exactly once iff on every terminating path.
+            let exits: Vec<BlockId> = cfg
+                .exits()
+                .iter()
+                .copied()
+                .filter(|&e| cfg.is_reachable(e))
+                .collect();
+            if !exits.is_empty() && exits.iter().all(|&e| dom.dominates(b, e)) {
+                return Some(Vec::new());
+            }
+            return None;
+        };
+        if b == lp.header {
+            return None; // the header runs trips+1 times; not a pure product
+        }
+        if lp.latches.len() != 1 || !dom.dominates(b, lp.latches[0]) {
+            return None; // conditionally executed within the loop
+        }
+        let trip = trip_count(func, lp);
+        if trip == Trip::Unknown {
+            return None;
+        }
+        // Unique preheader: the single loop-external predecessor of the
+        // header.
+        let mut outside = cfg
+            .preds(lp.header)
+            .iter()
+            .copied()
+            .filter(|&p| cfg.is_reachable(p) && !lp.contains(p));
+        let (Some(pre), None) = (outside.next(), outside.next()) else {
+            return None;
+        };
+        let mut factors = Self::count_of(func, cfg, dom, loops, pre, counts, state)?;
+        factors.push(trip);
+        Some(factors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Module;
+    use crate::types::{Constant, Type};
+
+    fn analyze(m: &Module, f: crate::ids::FuncId) -> (Cfg, DomTree, Vec<NaturalLoop>) {
+        let func = m.function(f);
+        let cfg = Cfg::new(func);
+        let dom = cfg.dominators();
+        let loops = find_loops(func, &cfg, &dom);
+        (cfg, dom, loops)
+    }
+
+    #[test]
+    fn counted_loop_const_trip() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("p".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("l", Constant::i64(2).into(), Constant::i64(10).into(), |b, i| {
+            let a = b.gep(b.param(0), i, 8);
+            b.store(a, Constant::i64(0).into());
+        });
+        b.ret(None);
+        let (_, _, loops) = analyze(&m, f);
+        let func = m.function(f);
+        assert_eq!(loops.len(), 1);
+        let lp = &loops[0];
+        assert_eq!(lp.header, func.block_by_name("l.header").unwrap());
+        assert_eq!(lp.latches, vec![func.block_by_name("l.body").unwrap()]);
+        assert_eq!(trip_count(func, lp), Trip::Const(8));
+    }
+
+    #[test]
+    fn counted_loop_param_trip_and_exec_counts() {
+        let mut m = Module::new("t");
+        let f = m.add_function(
+            "k",
+            vec![("p".into(), Type::Ptr), ("n".into(), Type::I64)],
+            Type::Void,
+        );
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.emit_counted_loop("outer", Constant::i64(0).into(), b.param(1), |b, _| {
+            b.emit_counted_loop("inner", Constant::i64(0).into(), Constant::i64(4).into(), |b, j| {
+                let a = b.gep(b.param(0), j, 8);
+                b.store(a, Constant::i64(1).into());
+            });
+        });
+        b.ret(None);
+        let (cfg, dom, loops) = analyze(&m, f);
+        let func = m.function(f);
+        assert_eq!(loops.len(), 2);
+        let outer = loops
+            .iter()
+            .find(|l| l.header == func.block_by_name("outer.header").unwrap())
+            .unwrap();
+        assert_eq!(trip_count(func, outer), Trip::Param(1));
+
+        let counts = ExecCounts::compute(func, &cfg, &dom);
+        assert_eq!(counts.count(e), Some(&[][..]), "entry runs exactly once");
+        let outer_body = func.block_by_name("outer.body").unwrap();
+        assert_eq!(counts.count(outer_body), Some(&[Trip::Param(1)][..]));
+        let inner_body = func.block_by_name("inner.body").unwrap();
+        assert_eq!(
+            counts.count(inner_body),
+            Some(&[Trip::Param(1), Trip::Const(4)][..])
+        );
+        let header = func.block_by_name("outer.header").unwrap();
+        assert_eq!(counts.count(header), None, "headers have no product form");
+    }
+
+    #[test]
+    fn data_dependent_loop_is_unknown() {
+        let mut m = Module::new("t");
+        let f = m.add_function("k", vec![("p".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        let h = b.create_block("head");
+        let body = b.create_block("body");
+        let done = b.create_block("done");
+        b.switch_to(e);
+        b.br(h);
+        b.switch_to(h);
+        // Condition depends on memory, not on a counted induction variable.
+        let v = b.load(Type::I64, b.param(0));
+        let c = b.icmp(IntPredicate::Sgt, v, Constant::i64(0).into());
+        b.cond_br(c, body, done);
+        b.switch_to(body);
+        b.store(b.param(0), Constant::i64(0).into());
+        b.br(h);
+        b.switch_to(done);
+        b.ret(None);
+        let (cfg, dom, loops) = analyze(&m, f);
+        let func = m.function(f);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(trip_count(func, &loops[0]), Trip::Unknown);
+        let counts = ExecCounts::compute(func, &cfg, &dom);
+        assert_eq!(counts.count(body), None);
+        assert_eq!(counts.count(done), Some(&[][..]), "after the loop: once");
+    }
+}

@@ -64,6 +64,7 @@ mod inst;
 mod mem_image;
 mod types;
 
+pub mod analysis;
 pub mod interp;
 pub mod parser;
 pub mod printer;
@@ -78,10 +79,10 @@ pub use inst::{
 };
 pub use interp::{run_single, run_tiles, ExecError, ExecOutcome, TileProgram, TraceSink};
 pub use mem_image::{MemImage, RtVal};
-pub use parser::parse_module;
+pub use parser::{parse_module, parse_module_with_spans, SpanTable};
 pub use printer::{print_function, print_module};
 pub use types::{Constant, Type};
-pub use verify::{verify_function, verify_module};
+pub use verify::{verify_channels, verify_function, verify_module};
 
 #[cfg(test)]
 mod tests {

@@ -332,7 +332,11 @@ fn parse_inst_body(text: &str, line: usize) -> Result<(Opcode, Type), IrError> {
             ))
         }
         "recv" => {
-            let parts = split_top_level(rest);
+            // The printer writes `recv i64 q0`; accept a comma too.
+            let mut parts = split_top_level(rest);
+            if parts.len() == 1 {
+                parts = parts[0].split_whitespace().collect();
+            }
             if parts.len() != 2 {
                 return Err(perr(line, "recv needs type, queue"));
             }
@@ -416,6 +420,24 @@ fn parse_header(line_text: &str, line: usize) -> Result<Header, IrError> {
     Ok((name, params, ret_ty))
 }
 
+/// Source-line information for a parsed module: the 1-based line each
+/// instruction was parsed from.
+///
+/// Diagnostics produced later (the verifier, `mosaic-lint`) can be mapped
+/// back to the `.mir` source with [`SpanTable::line`].
+#[derive(Debug, Clone, Default)]
+pub struct SpanTable {
+    lines: std::collections::HashMap<(FuncId, InstId), usize>,
+}
+
+impl SpanTable {
+    /// The 1-based source line of instruction `inst` of function `func`,
+    /// if known.
+    pub fn line(&self, func: FuncId, inst: InstId) -> Option<usize> {
+        self.lines.get(&(func, inst)).copied()
+    }
+}
+
 /// Parses a module from the textual format.
 ///
 /// # Errors
@@ -431,6 +453,18 @@ fn parse_header(line_text: &str, line: usize) -> Result<Header, IrError> {
 /// assert_eq!(m.functions().count(), 1);
 /// ```
 pub fn parse_module(text: &str) -> Result<Module, IrError> {
+    parse_module_with_spans(text).map(|(m, _)| m)
+}
+
+/// Like [`parse_module`], additionally returning a [`SpanTable`] mapping
+/// each instruction back to its source line.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with a line number on malformed input,
+/// including channel endpoints with no peer anywhere in the module.
+pub fn parse_module_with_spans(text: &str) -> Result<(Module, SpanTable), IrError> {
+    let mut spans = SpanTable::default();
     let mut lines = text.lines().enumerate().peekable();
     let mut module_name = "module".to_string();
     let mut module = Module::new(&module_name);
@@ -438,7 +472,7 @@ pub fn parse_module(text: &str) -> Result<Module, IrError> {
     while let Some((lno, raw)) = lines.next() {
         let line = lno + 1;
         let t = raw.trim();
-        if t.is_empty() {
+        if t.is_empty() || t.starts_with(';') {
             continue;
         }
         if let Some(name) = t.strip_prefix("module ") {
@@ -458,7 +492,7 @@ pub fn parse_module(text: &str) -> Result<Module, IrError> {
             for (lno2, raw2) in lines.by_ref() {
                 let line2 = lno2 + 1;
                 let t2 = raw2.trim();
-                if t2.is_empty() {
+                if t2.is_empty() || t2.starts_with(';') {
                     continue;
                 }
                 if t2 == "}" {
@@ -485,6 +519,12 @@ pub fn parse_module(text: &str) -> Result<Module, IrError> {
                         }
                     }
                 }
+                // Trailing `; ...` comments on instruction lines (block
+                // labels were handled above — their `;` names the block).
+                let t2 = match t2.split_once(" ;") {
+                    Some((code, _)) => code.trim_end(),
+                    None => t2,
+                };
                 let block = current_block
                     .ok_or_else(|| perr(line2, "instruction before first block label"))?;
                 let (printed_id, body) = if let Some(eq) = t2.find(" = ") {
@@ -528,6 +568,7 @@ pub fn parse_module(text: &str) -> Result<Module, IrError> {
                 debug_assert_eq!(b.0, *id);
             }
             let mut arena: Vec<Option<Inst>> = (0..total).map(|_| None).collect();
+            let mut inst_lines: Vec<(InstId, usize)> = Vec::new();
             for p in &pending {
                 let id = match p.printed_id {
                     Some(n) => n,
@@ -585,20 +626,63 @@ pub fn parse_module(text: &str) -> Result<Module, IrError> {
                     ty,
                 });
                 func.blocks[p.block.index()].insts.push(InstId(id));
+                inst_lines.push((InstId(id), p.line));
             }
             func.insts = arena
                 .into_iter()
                 .enumerate()
                 .map(|(i, inst)| inst.ok_or_else(|| perr(line, format!("missing inst id %{i}"))))
                 .collect::<Result<Vec<_>, _>>()?;
-            module.add_built_function(func);
+            let fid = module.add_built_function(func);
+            for (iid, iline) in inst_lines {
+                spans.lines.insert((fid, iid), iline);
+            }
             continue;
         }
         return Err(perr(line, format!("unexpected line `{t}`")));
     }
 
+    spanned_channel_check(&module, &spans)?;
     crate::verify::verify_module(&module)?;
-    Ok(module)
+    Ok((module, spans))
+}
+
+/// The module-level channel-endpoint invariant
+/// ([`crate::verify::verify_channels`]), reported as a spanned parse
+/// error pointing at the offending `send`/`recv` line.
+fn spanned_channel_check(module: &Module, spans: &SpanTable) -> Result<(), IrError> {
+    let mut sends: Vec<(u32, FuncId, InstId)> = Vec::new();
+    let mut recvs: Vec<(u32, FuncId, InstId)> = Vec::new();
+    for f in module.functions() {
+        for block in f.blocks() {
+            for &iid in block.insts() {
+                match f.inst(iid).op() {
+                    Opcode::Send { queue, .. } => sends.push((*queue, f.id(), iid)),
+                    Opcode::Recv { queue } => recvs.push((*queue, f.id(), iid)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    for &(q, fid, iid) in &sends {
+        if !recvs.iter().any(|&(rq, _, _)| rq == q) {
+            let line = spans.line(fid, iid).unwrap_or(0);
+            return Err(perr(
+                line,
+                format!("send on channel q{q} has no matching recv anywhere in the module"),
+            ));
+        }
+    }
+    for &(q, fid, iid) in &recvs {
+        if !sends.iter().any(|&(sq, _, _)| sq == q) {
+            let line = spans.line(fid, iid).unwrap_or(0);
+            return Err(perr(
+                line,
+                format!("recv on channel q{q} has no matching send anywhere in the module"),
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -724,6 +808,58 @@ mod tests {
         let (line, msg) = parse_err(bad);
         assert_eq!(line, 3, "{msg}");
         assert!(msg.contains("qx"), "{msg}");
+    }
+
+    #[test]
+    fn unmatched_send_is_a_spanned_parse_error() {
+        // `send q5` at line 3 has no recv anywhere in the module.
+        let bad = "func @f() -> void {\nbb0: ; e\n  send q5, i64 1\n  ret void\n}\n";
+        let (line, msg) = parse_err(bad);
+        assert_eq!(line, 3, "{msg}");
+        assert!(msg.contains("channel q5"), "{msg}");
+        assert!(msg.contains("no matching recv"), "{msg}");
+    }
+
+    #[test]
+    fn unmatched_recv_is_a_spanned_parse_error() {
+        let bad = "func @f() -> i64 {\nbb0: ; e\n  %0 = recv i64 q2\n  ret %0\n}\n";
+        let (line, msg) = parse_err(bad);
+        assert_eq!(line, 3, "{msg}");
+        assert!(msg.contains("no matching send"), "{msg}");
+    }
+
+    #[test]
+    fn span_table_maps_instructions_to_lines() {
+        let text = "module demo\n\nfunc @f(i64 %n) -> i64 {\nbb0: ; e\n  %0 = add i64 $%0, i64 1\n  ret %0\n}\n";
+        let (m, spans) = parse_module_with_spans(text).unwrap();
+        let fid = m.function_by_name("f").unwrap();
+        assert_eq!(spans.line(fid, InstId(0)), Some(5), "add is on line 5");
+        assert_eq!(spans.line(fid, InstId(1)), Some(6), "ret is on line 6");
+        assert_eq!(spans.line(fid, InstId(9)), None);
+    }
+
+    #[test]
+    fn span_table_round_trips_matched_channels() {
+        // A matched producer/consumer pair parses with spans for both
+        // functions.
+        let text = "func @prod() -> void {\nbb0: ; e\n  send q0, i64 1\n  ret void\n}\n\nfunc @cons() -> i64 {\nbb0: ; e\n  %0 = recv i64 q0\n  ret %0\n}\n";
+        let (m, spans) = parse_module_with_spans(text).unwrap();
+        let prod = m.function_by_name("prod").unwrap();
+        let cons = m.function_by_name("cons").unwrap();
+        assert_eq!(spans.line(prod, InstId(0)), Some(3));
+        assert_eq!(spans.line(cons, InstId(0)), Some(9));
+    }
+
+    #[test]
+    fn comments_are_ignored_everywhere() {
+        // Full-line `;` comments (top level and inside bodies) and
+        // trailing comments on instruction lines are skipped; the `;` in
+        // a block label still names the block.
+        let text = "; file header\nmodule demo\n\nfunc @f(i64 %n) -> i64 {\n; about to start\nbb0: ; entry\n  ; computes n+1\n  %1 = add i64 $%0, i64 1 ; trailing note\n  ret %1\n}\n";
+        let m = parse_module(text).unwrap();
+        let f = m.function(m.function_by_name("f").unwrap());
+        assert_eq!(f.inst_count(), 2);
+        assert_eq!(f.block(f.entry()).name(), "entry");
     }
 
     #[test]

@@ -267,7 +267,53 @@ fn verify_inst_types(func: &Function, iid: crate::ids::InstId) -> Result<(), IrE
     Ok(())
 }
 
-/// Verifies every function in a module.
+/// Checks that every `send`/`recv` channel id has a peer endpoint
+/// somewhere in the module: a `send` on queue `q` with no `recv` on `q`
+/// anywhere (or vice versa) is a guaranteed dynamic stall, so it is
+/// rejected statically.
+///
+/// Queue ids are compared as written in the IR; per-tile `queue_offset`
+/// remapping happens at system-configuration level and does not affect
+/// this check.
+///
+/// # Errors
+///
+/// Returns [`IrError::Verify`] naming the queue, function, and
+/// instruction of the first unmatched endpoint.
+pub fn verify_channels(module: &Module) -> Result<(), IrError> {
+    // (queue, function name, inst id) of the first endpoint seen per side.
+    let mut sends: Vec<(u32, &str, crate::ids::InstId)> = Vec::new();
+    let mut recvs: Vec<(u32, &str, crate::ids::InstId)> = Vec::new();
+    for f in module.functions() {
+        for block in f.blocks() {
+            for &iid in block.insts() {
+                match f.inst(iid).op() {
+                    Opcode::Send { queue, .. } => sends.push((*queue, f.name(), iid)),
+                    Opcode::Recv { queue } => recvs.push((*queue, f.name(), iid)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    for &(q, fname, iid) in &sends {
+        if !recvs.iter().any(|&(rq, _, _)| rq == q) {
+            return Err(IrError::Verify(format!(
+                "in {fname}: send {iid} on channel q{q} has no matching recv anywhere in the module"
+            )));
+        }
+    }
+    for &(q, fname, iid) in &recvs {
+        if !sends.iter().any(|&(sq, _, _)| sq == q) {
+            return Err(IrError::Verify(format!(
+                "in {fname}: recv {iid} on channel q{q} has no matching send anywhere in the module"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies every function in a module, then the module-level channel
+/// endpoint invariant ([`verify_channels`]).
 ///
 /// # Errors
 ///
@@ -279,7 +325,7 @@ pub fn verify_module(module: &Module) -> Result<(), IrError> {
             other => other,
         })?;
     }
-    Ok(())
+    verify_channels(module)
 }
 
 #[cfg(test)]
@@ -357,6 +403,42 @@ mod tests {
         b.switch_to(t);
         b.ret(None);
         assert!(verify_function(m.function(f)).is_err());
+    }
+
+    #[test]
+    fn unmatched_send_rejected_matched_pair_accepted() {
+        let mut m = fresh();
+        let f = m.add_function("prod", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.send(3, Constant::i64(1).into());
+        b.ret(None);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.to_string().contains("channel q3"), "{err}");
+        assert!(err.to_string().contains("no matching recv"), "{err}");
+
+        // Adding the peer endpoint makes the module verify.
+        let g = m.add_function("cons", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(g));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.recv(3, Type::I64);
+        b.ret(None);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn unmatched_recv_rejected() {
+        let mut m = fresh();
+        let f = m.add_function("cons", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.recv(7, Type::I64);
+        b.ret(None);
+        let err = verify_channels(&m).unwrap_err();
+        assert!(err.to_string().contains("no matching send"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Per-function lints built directly on the `mosaic_ir::analysis`
+//! dataflow framework: use-before-initialize (via must-defined values),
+//! dead stores, dead values (via side-effect demand), unreachable
+//! blocks, and phi inputs from unreachable predecessors.
+
+use mosaic_ir::analysis::{demanded_values, Cfg, DefinedValues};
+use mosaic_ir::{Function, Module, Opcode, Operand};
+
+use crate::{Diagnostic, LintReport, Severity};
+
+const PASS: &str = "dataflow";
+
+/// Runs every per-function dataflow lint over every function.
+pub fn run(module: &Module, report: &mut LintReport) {
+    for func in module.functions() {
+        if func.block_count() == 0 {
+            continue;
+        }
+        let cfg = Cfg::new(func);
+        unreachable_blocks(func, &cfg, report);
+        dead_phi_inputs(func, &cfg, report);
+        use_before_init(func, &cfg, report);
+        dead_stores(func, &cfg, report);
+        dead_values(func, &cfg, report);
+    }
+}
+
+fn diag(
+    func: &Function,
+    severity: Severity,
+    inst: Option<mosaic_ir::InstId>,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        severity,
+        pass: PASS,
+        func: func.name().to_string(),
+        func_id: func.id(),
+        inst,
+        queue: None,
+        message,
+    }
+}
+
+/// Blocks no path from the entry can reach.
+fn unreachable_blocks(func: &Function, cfg: &Cfg, report: &mut LintReport) {
+    for block in func.blocks() {
+        if !cfg.is_reachable(block.id()) {
+            report.diagnostics.push(diag(
+                func,
+                Severity::Warning,
+                block.terminator(),
+                format!("block {} ({}) is unreachable", block.id(), block.name()),
+            ));
+        }
+    }
+}
+
+/// Phi incoming entries whose predecessor block is unreachable: the value
+/// can never flow in, so the entry is dead weight (and often a stale
+/// artifact of an earlier transformation).
+fn dead_phi_inputs(func: &Function, cfg: &Cfg, report: &mut LintReport) {
+    for block in func.blocks() {
+        if !cfg.is_reachable(block.id()) {
+            continue;
+        }
+        for &iid in block.insts() {
+            let Opcode::Phi { incoming } = func.inst(iid).op() else { continue };
+            for (pred, _) in incoming {
+                if !cfg.is_reachable(*pred) {
+                    report.diagnostics.push(diag(
+                        func,
+                        Severity::Warning,
+                        Some(iid),
+                        format!(
+                            "phi {iid} has an input from unreachable block {} ({})",
+                            pred,
+                            func.block(*pred).name()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// A value used on some path along which it was never defined. On
+/// verified SSA this cannot fire (defs dominate uses); it catches
+/// hand-built or transformed IR that skipped verification.
+fn use_before_init(func: &Function, cfg: &Cfg, report: &mut LintReport) {
+    let states = DefinedValues::compute(func, cfg);
+    for block in func.blocks() {
+        if !cfg.is_reachable(block.id()) {
+            continue;
+        }
+        let mut defined = states.input[block.id().index()].0.clone();
+        for &iid in block.insts() {
+            let inst = func.inst(iid);
+            if let Opcode::Phi { incoming } = inst.op() {
+                // A phi's operands are demanded at the end of each
+                // predecessor, not at the top of this block.
+                for (pred, val) in incoming {
+                    let Operand::Inst(used) = val else { continue };
+                    if cfg.is_reachable(*pred)
+                        && !states.output[pred.index()].0.contains(used.index())
+                    {
+                        report.diagnostics.push(diag(
+                            func,
+                            Severity::Error,
+                            Some(iid),
+                            format!(
+                                "phi {iid} reads {used} from predecessor {} ({}) \
+                                 where it is not defined",
+                                pred,
+                                func.block(*pred).name()
+                            ),
+                        ));
+                    }
+                }
+            } else {
+                inst.op().for_each_operand(|op| {
+                    if let Operand::Inst(used) = op {
+                        if !defined.contains(used.index()) {
+                            report.diagnostics.push(diag(
+                                func,
+                                Severity::Error,
+                                Some(iid),
+                                format!("{iid} uses {used} before it is initialized"),
+                            ));
+                        }
+                    }
+                });
+            }
+            if inst.produces_value() {
+                defined.insert(iid.index());
+            }
+        }
+    }
+}
+
+/// A store overwritten by a later store to the syntactically identical
+/// address in the same block, with no intervening instruction that could
+/// observe memory (load, atomic, call, accelerator, or channel op — a
+/// channel op may signal another tile to read the location).
+fn dead_stores(func: &Function, cfg: &Cfg, report: &mut LintReport) {
+    for block in func.blocks() {
+        if !cfg.is_reachable(block.id()) {
+            continue;
+        }
+        let mut pending: Vec<(Operand, mosaic_ir::InstId)> = Vec::new();
+        for &iid in block.insts() {
+            match func.inst(iid).op() {
+                Opcode::Store { addr, .. } => {
+                    if let Some(pos) = pending.iter().position(|(a, _)| a == addr) {
+                        let (_, dead) = pending.remove(pos);
+                        report.diagnostics.push(diag(
+                            func,
+                            Severity::Warning,
+                            Some(dead),
+                            format!(
+                                "store {dead} is dead: {iid} overwrites the same \
+                                 address with no intervening read"
+                            ),
+                        ));
+                    }
+                    pending.push((*addr, iid));
+                }
+                Opcode::Load { .. }
+                | Opcode::AtomicRmw { .. }
+                | Opcode::Call { .. }
+                | Opcode::AccelCall { .. }
+                | Opcode::Send { .. }
+                | Opcode::Recv { .. } => pending.clear(),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Values no side-effecting instruction transitively depends on: the
+/// same demand computation `passes::dce` deletes by, surfaced as a lint.
+fn dead_values(func: &Function, cfg: &Cfg, report: &mut LintReport) {
+    let demanded = demanded_values(func);
+    for block in func.blocks() {
+        if !cfg.is_reachable(block.id()) {
+            continue;
+        }
+        for &iid in block.insts() {
+            let inst = func.inst(iid);
+            if inst.produces_value()
+                && !inst.op().has_side_effect()
+                && !demanded.contains(iid.index())
+            {
+                report.diagnostics.push(diag(
+                    func,
+                    Severity::Warning,
+                    Some(iid),
+                    format!(
+                        "value {iid} is dead: nothing with a side effect depends on it"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_ir::{Constant, FunctionBuilder, Type};
+
+    #[test]
+    fn clean_function_has_no_findings() {
+        let mut m = Module::new("clean");
+        let f = m.add_function("f", vec![(String::from("p"), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let p = b.param(0);
+        b.emit_counted_loop("l", Constant::i64(0).into(), Constant::i64(4).into(), |b, iv| {
+            let a = b.gep(p, iv, 8);
+            let v = b.load(Type::I64, a);
+            let w = b.bin(mosaic_ir::BinOp::Add, v, Constant::i64(1).into());
+            b.store(a, w);
+        });
+        b.ret(None);
+        let mut report = LintReport::default();
+        run(&m, &mut report);
+        assert!(report.is_clean(), "findings: {report}");
+    }
+
+    #[test]
+    fn dead_value_and_dead_store_are_flagged() {
+        let mut m = Module::new("dead");
+        let f = m.add_function("f", vec![(String::from("p"), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let p = b.param(0);
+        // Dead math: never demanded by a side effect.
+        b.bin(
+            mosaic_ir::BinOp::Mul,
+            Constant::i64(3).into(),
+            Constant::i64(4).into(),
+        );
+        // Dead store: immediately overwritten.
+        b.store(p, Constant::i64(1).into());
+        b.store(p, Constant::i64(2).into());
+        b.ret(None);
+        let mut report = LintReport::default();
+        run(&m, &mut report);
+        let msgs: Vec<&str> = report.diagnostics.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|s| s.contains("is dead: nothing")), "{msgs:?}");
+        assert!(msgs.iter().any(|s| s.contains("store") && s.contains("overwrites")), "{msgs:?}");
+    }
+
+    #[test]
+    fn load_between_stores_keeps_both() {
+        let mut m = Module::new("kept");
+        let f = m.add_function("f", vec![(String::from("p"), Type::Ptr)], Type::I64);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let p = b.param(0);
+        b.store(p, Constant::i64(1).into());
+        let v = b.load(Type::I64, p);
+        b.store(p, Constant::i64(2).into());
+        b.ret(Some(v));
+        let mut report = LintReport::default();
+        run(&m, &mut report);
+        assert!(
+            !report.diagnostics.iter().any(|d| d.message.contains("overwrites")),
+            "findings: {report}"
+        );
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let mut m = Module::new("unreach");
+        let f = m.add_function("f", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        let dead = b.create_block("island");
+        b.switch_to(e);
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let mut report = LintReport::default();
+        run(&m, &mut report);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("is unreachable") && d.message.contains("island")),
+            "findings: {report}"
+        );
+    }
+}

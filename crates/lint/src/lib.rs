@@ -1,0 +1,311 @@
+//! # mosaic-lint
+//!
+//! Static lint passes over `mosaic-ir`, built on the
+//! [`mosaic_ir::analysis`] dataflow framework. The linter is the static
+//! complement of the simulator's dynamic deadlock detector: it proves
+//! protocol violations, races, and liveness problems from the IR before
+//! the Interleaver ever runs a cycle.
+//!
+//! Passes (see `DESIGN.md` §4.4 for the catalog with example output):
+//!
+//! * **channel-protocol** ([`channel`]) — per-channel send/recv effect
+//!   counting with loop-trip-count bounds, unmatched-endpoint detection
+//!   under per-tile queue offsets, and provable self-wait cycles.
+//! * **race** ([`race`]) — GEP-chain address-region analysis flagging
+//!   conflicting load/store regions on tiles with no channel-ordered
+//!   happens-before edge.
+//! * **liveness lints** ([`dataflow_lints`]) — use-before-initialize,
+//!   dead stores, dead values, unreachable blocks, dead phi inputs.
+//!
+//! Every diagnostic is *conservative*: the linter only reports what it
+//! can prove, so "no findings" does not mean "no bugs" (the properties
+//! are undecidable in general), but every `Error` finding corresponds to
+//! a guaranteed dynamic failure.
+//!
+//! # Examples
+//!
+//! ```
+//! use mosaic_ir::{Module, FunctionBuilder, Constant, Type};
+//! use mosaic_lint::{lint_system, Severity, TileBinding};
+//!
+//! // A producer that sends on q0 while the consumer listens on q1.
+//! let mut m = Module::new("bad");
+//! let p = m.add_function("prod", vec![], Type::Void);
+//! let mut b = FunctionBuilder::new(m.function_mut(p));
+//! let e = b.create_block("entry");
+//! b.switch_to(e);
+//! b.send(0, Constant::i64(1).into());
+//! b.ret(None);
+//! let c = m.add_function("cons", vec![], Type::Void);
+//! let mut b = FunctionBuilder::new(m.function_mut(c));
+//! let e = b.create_block("entry");
+//! b.switch_to(e);
+//! b.recv(0, Type::I64);
+//! b.ret(None);
+//!
+//! // The queue offset shifts the consumer's endpoint to q1.
+//! let tiles = vec![
+//!     TileBinding::new(p, 0, vec![]),
+//!     TileBinding::new(c, 1, vec![]),
+//! ];
+//! let report = lint_system(&m, &tiles);
+//! assert!(report.diagnostics.iter().any(|d| d.severity == Severity::Error));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod dataflow_lints;
+pub mod race;
+
+use std::fmt;
+
+use mosaic_ir::{FuncId, InstId, Module, SpanTable};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably fatal (dead code, dead stores).
+    Warning,
+    /// A guaranteed dynamic failure (deadlock, use-before-init, race).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Finding severity.
+    pub severity: Severity,
+    /// Which pass produced it (e.g. `channel-protocol`).
+    pub pass: &'static str,
+    /// Name of the function the finding is in.
+    pub func: String,
+    /// Id of the function the finding is in.
+    pub func_id: FuncId,
+    /// The offending (for protocol findings: blocking) instruction.
+    pub inst: Option<InstId>,
+    /// The system-level channel involved, for protocol findings.
+    pub queue: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic, resolving `inst` to a source line when a
+    /// span table (from [`mosaic_ir::parse_module_with_spans`]) is
+    /// available.
+    pub fn render(&self, spans: Option<&SpanTable>, file: Option<&str>) -> String {
+        let mut s = String::new();
+        if let (Some(spans), Some(inst)) = (spans, self.inst) {
+            if let Some(line) = spans.line(self.func_id, inst) {
+                let f = file.unwrap_or("<input>");
+                s.push_str(&format!("{f}:{line}: "));
+            }
+        }
+        s.push_str(&format!("{}[{}] in {}", self.severity, self.pass, self.func));
+        if let Some(inst) = self.inst {
+            s.push_str(&format!(" at {inst}"));
+        }
+        s.push_str(": ");
+        s.push_str(&self.message);
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(None, None))
+    }
+}
+
+/// The result of running the lint passes: all findings, errors first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// All findings, sorted most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    fn finish(mut self) -> LintReport {
+        self.diagnostics
+            .sort_by(|a, b| b.severity.cmp(&a.severity).then(a.func_id.cmp(&b.func_id)));
+        self
+    }
+
+    /// Whether no findings at all were produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Whether the report should fail the given lint level: `Deny` fails
+    /// on *any* finding, `Warn` and `Off` never fail.
+    pub fn fails(&self, level: LintLevel) -> bool {
+        level == LintLevel::Deny && !self.is_clean()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} finding(s), {} error(s)",
+            self.diagnostics.len(),
+            self.error_count()
+        )
+    }
+}
+
+/// How strictly lint findings are enforced by consumers such as
+/// `SystemBuilder::build`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Do not run the linter at all.
+    Off,
+    /// Run and report findings (to stderr in the builder gate) but never
+    /// fail.
+    #[default]
+    Warn,
+    /// Fail on any finding.
+    Deny,
+}
+
+/// How one tile of the system maps onto the module: which function it
+/// runs, its channel-id offset, and any statically known argument values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileBinding {
+    /// The kernel function this tile executes.
+    pub func: FuncId,
+    /// Added to every IR queue id on this tile (mirrors the tile
+    /// configuration's `queue_offset`).
+    pub queue_offset: u32,
+    /// Statically known integer argument values, by parameter position;
+    /// `None` means unknown. May be shorter than the parameter list.
+    pub args: Vec<Option<i64>>,
+}
+
+impl TileBinding {
+    /// Convenience constructor.
+    pub fn new(func: FuncId, queue_offset: u32, args: Vec<Option<i64>>) -> TileBinding {
+        TileBinding {
+            func,
+            queue_offset,
+            args,
+        }
+    }
+
+    /// Derives a binding from a concrete [`mosaic_ir::TileProgram`]:
+    /// integer arguments (including pointer bases) become statically
+    /// known, float arguments stay unknown.
+    pub fn from_program(p: &mosaic_ir::TileProgram) -> TileBinding {
+        TileBinding {
+            func: p.func,
+            queue_offset: p.queue_offset,
+            args: p
+                .args
+                .iter()
+                .map(|a| match a {
+                    mosaic_ir::RtVal::Int(v) => Some(*v),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Evaluates a block's execution-count factors (from
+/// [`mosaic_ir::analysis::ExecCounts`]) under the bound arguments:
+/// `None` if any factor is unknown, otherwise the saturating product
+/// with negative trip counts clamped to zero.
+pub(crate) fn eval_count(
+    factors: Option<&[mosaic_ir::analysis::Trip]>,
+    args: &[Option<i64>],
+) -> Option<i64> {
+    use mosaic_ir::analysis::Trip;
+    let mut n: i64 = 1;
+    for t in factors? {
+        let v = match t {
+            Trip::Const(c) => *c,
+            Trip::Param(p) => args.get(*p as usize).copied().flatten()?,
+            Trip::Unknown => return None,
+        };
+        n = n.saturating_mul(v.max(0));
+    }
+    Some(n)
+}
+
+/// Lints a module in isolation (no tile mapping): all per-function
+/// dataflow lints plus module-level channel balance where both sides are
+/// constant.
+pub fn lint_module(module: &Module) -> LintReport {
+    let mut report = LintReport::default();
+    dataflow_lints::run(module, &mut report);
+    // Without a tile mapping, treat the module as one system with every
+    // function on its own tile at offset 0 and unknown arguments.
+    let tiles: Vec<TileBinding> = module
+        .functions()
+        .map(|f| TileBinding::new(f.id(), 0, vec![None; f.params().len()]))
+        .collect();
+    channel::run(module, &tiles, &mut report);
+    report.finish()
+}
+
+/// Lints a configured system: the module plus one [`TileBinding`] per
+/// tile. Runs everything [`lint_module`] runs, with channel endpoints
+/// shifted by per-tile queue offsets, send/recv counts evaluated under
+/// the bound arguments, and cross-tile race detection.
+pub fn lint_system(module: &Module, tiles: &[TileBinding]) -> LintReport {
+    let mut report = LintReport::default();
+    dataflow_lints::run(module, &mut report);
+    channel::run(module, tiles, &mut report);
+    race::run(module, tiles, &mut report);
+    report.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_errors_above_warnings() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn report_fails_only_at_deny() {
+        let report = LintReport {
+            diagnostics: vec![Diagnostic {
+                severity: Severity::Warning,
+                pass: "test",
+                func: "f".into(),
+                func_id: FuncId(0),
+                inst: None,
+                queue: None,
+                message: "m".into(),
+            }],
+        };
+        assert!(report.fails(LintLevel::Deny));
+        assert!(!report.fails(LintLevel::Warn));
+        assert!(!report.fails(LintLevel::Off));
+        assert!(!LintReport::default().fails(LintLevel::Deny));
+    }
+}

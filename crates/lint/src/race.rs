@@ -1,0 +1,354 @@
+//! Cross-tile race detection.
+//!
+//! Resolves the byte region touched by every load and store whose
+//! address can be bounded statically — a GEP chain rooted at a pointer
+//! parameter with a concretely bound argument value, indexed by a
+//! constant or by a counted-loop induction variable with constant
+//! bounds — and flags pairs of overlapping regions on *different* tiles
+//! where at least one side is a plain store and the two tiles share no
+//! channel (directly or transitively).
+//!
+//! Channel connectivity is used as a conservative happens-before proxy:
+//! tiles that communicate are assumed ordered, because blocking
+//! send/recv pairs impose cross-tile ordering and a flow-sensitive
+//! proof is out of scope. `AtomicRmw` accesses are never flagged — they
+//! are the IR's synchronization primitive. Accesses whose region cannot
+//! be bounded (unknown arguments, `tile_id`-dependent strides, data-
+//! dependent indices) are skipped entirely, so SPMD kernels that
+//! partition an array by tile id produce no findings.
+
+use mosaic_ir::analysis::{find_loops, Cfg, ExecCounts};
+use mosaic_ir::{BinOp, Constant, Function, InstId, IntPredicate, Module, Opcode, Operand, Type};
+
+use crate::{eval_count, Diagnostic, LintReport, Severity, TileBinding};
+
+const PASS: &str = "race";
+
+/// A memory access with a statically bounded byte region `[lo, hi)`.
+struct Access {
+    tile: usize,
+    inst: InstId,
+    is_store: bool,
+    lo: i64,
+    hi: i64,
+}
+
+/// Evaluates an operand to a known integer under the bound arguments.
+fn known_int(op: &Operand, args: &[Option<i64>]) -> Option<i64> {
+    match op {
+        Operand::Const(Constant::Int(v, _)) => Some(*v),
+        Operand::Param(p) => args.get(*p as usize).copied().flatten(),
+        _ => None,
+    }
+}
+
+/// Inclusive range `[lo, hi]` of values a counted-loop induction phi can
+/// take, for phis matching the canonical `emit_counted_loop` shape with
+/// statically known bounds. Returns `None` for anything else.
+fn iv_ranges(
+    func: &Function,
+    cfg: &Cfg,
+    dom: &mosaic_ir::analysis::DomTree,
+    args: &[Option<i64>],
+) -> Vec<(InstId, i64, i64)> {
+    let mut out = Vec::new();
+    for lp in find_loops(func, cfg, dom) {
+        if lp.latches.len() != 1 {
+            continue;
+        }
+        let latch = lp.latches[0];
+        let header = func.block(lp.header);
+        let Some(term) = header.terminator() else { continue };
+        let Opcode::CondBr { cond: Operand::Inst(cmp), .. } = func.inst(term).op() else {
+            continue;
+        };
+        let Opcode::ICmp { pred: IntPredicate::Slt, lhs: Operand::Inst(phi_id), rhs } =
+            func.inst(*cmp).op()
+        else {
+            continue;
+        };
+        let Opcode::Phi { incoming } = func.inst(*phi_id).op() else { continue };
+        if incoming.len() != 2 {
+            continue;
+        }
+        let mut start = None;
+        let mut step_ok = false;
+        for (pred, val) in incoming {
+            if *pred == latch {
+                if let Operand::Inst(add) = val {
+                    if let Opcode::Bin { op: BinOp::Add, lhs, rhs } = func.inst(*add).op() {
+                        step_ok = *lhs == Operand::Inst(*phi_id)
+                            && matches!(rhs, Operand::Const(Constant::Int(1, _)));
+                    }
+                }
+            } else {
+                start = known_int(val, args);
+            }
+        }
+        let (Some(s), Some(e)) = (start, known_int(rhs, args)) else { continue };
+        if step_ok && e > s {
+            out.push((*phi_id, s, e - 1));
+        }
+    }
+    out
+}
+
+/// Resolves the inclusive range of start addresses an address operand can
+/// evaluate to, walking GEP chains down to pointer parameters/constants.
+fn addr_range(
+    func: &Function,
+    op: &Operand,
+    args: &[Option<i64>],
+    ivs: &[(InstId, i64, i64)],
+) -> Option<(i64, i64)> {
+    if let Some(v) = known_int(op, args) {
+        return Some((v, v));
+    }
+    let Operand::Inst(id) = op else { return None };
+    let Opcode::Gep { base, index, elem_size } = func.inst(*id).op() else {
+        return None;
+    };
+    let (blo, bhi) = addr_range(func, base, args, ivs)?;
+    let (ilo, ihi) = if let Some(v) = known_int(index, args) {
+        (v, v)
+    } else if let Operand::Inst(iv) = index {
+        let &(_, lo, hi) = ivs.iter().find(|(p, _, _)| p == iv)?;
+        (lo, hi)
+    } else {
+        return None;
+    };
+    let es = *elem_size as i64;
+    Some((blo + ilo * es, bhi + ihi * es))
+}
+
+/// Width in bytes of the value moved by a load or store.
+fn access_size(func: &Function, op: &Opcode, ty: Type) -> i64 {
+    let t = match op {
+        Opcode::Store { value, .. } => match value {
+            Operand::Inst(id) => func.inst(*id).ty(),
+            Operand::Const(c) => c.ty(),
+            Operand::Param(p) => func.params()[*p as usize].1,
+        },
+        _ => ty,
+    };
+    i64::from(t.size_bytes().max(1))
+}
+
+/// Tiles are channel-connected when they share a system queue, directly
+/// or through a chain of other tiles.
+fn connected_components(module: &Module, tiles: &[TileBinding]) -> Vec<usize> {
+    let queues: Vec<Vec<u32>> = tiles
+        .iter()
+        .map(|t| {
+            let func = module.function(t.func);
+            let mut qs = Vec::new();
+            for block in func.blocks() {
+                for &iid in block.insts() {
+                    if let Opcode::Send { queue, .. } | Opcode::Recv { queue } =
+                        func.inst(iid).op()
+                    {
+                        let q = queue + t.queue_offset;
+                        if !qs.contains(&q) {
+                            qs.push(q);
+                        }
+                    }
+                }
+            }
+            qs
+        })
+        .collect();
+    let mut comp: Vec<usize> = (0..tiles.len()).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..tiles.len() {
+            for j in i + 1..tiles.len() {
+                if comp[i] != comp[j] && queues[i].iter().any(|q| queues[j].contains(q)) {
+                    let (from, to) = (comp[i].max(comp[j]), comp[i].min(comp[j]));
+                    for c in comp.iter_mut() {
+                        if *c == from {
+                            *c = to;
+                        }
+                    }
+                    changed = true;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Runs the race pass over one configured system.
+pub fn run(module: &Module, tiles: &[TileBinding], report: &mut LintReport) {
+    let comp = connected_components(module, tiles);
+    let mut accesses: Vec<Access> = Vec::new();
+    for (tile, binding) in tiles.iter().enumerate() {
+        let func = module.function(binding.func);
+        let cfg = Cfg::new(func);
+        let dom = cfg.dominators();
+        let exec = ExecCounts::compute(func, &cfg, &dom);
+        let ivs = iv_ranges(func, &cfg, &dom, &binding.args);
+        for block in func.blocks() {
+            // A provable race needs both accesses to provably execute:
+            // skip blocks that are unreachable or only conditionally run
+            // (e.g. guarded by a tile-id branch).
+            if !cfg.is_reachable(block.id())
+                || eval_count(exec.count(block.id()), &binding.args).is_none_or(|c| c < 1)
+            {
+                continue;
+            }
+            for &iid in block.insts() {
+                let inst = func.inst(iid);
+                let (addr, is_store) = match inst.op() {
+                    Opcode::Load { addr } => (addr, false),
+                    Opcode::Store { addr, .. } => (addr, true),
+                    // AtomicRmw is the synchronization primitive: skip.
+                    _ => continue,
+                };
+                let Some((lo, hi)) = addr_range(func, addr, &binding.args, &ivs) else {
+                    continue;
+                };
+                let size = access_size(func, inst.op(), inst.ty());
+                accesses.push(Access {
+                    tile,
+                    inst: iid,
+                    is_store,
+                    lo,
+                    hi: hi + size,
+                });
+            }
+        }
+    }
+
+    // Report at most one conflict per unordered tile pair to keep the
+    // output readable on large systems.
+    let mut reported: Vec<(usize, usize)> = Vec::new();
+    for (i, a) in accesses.iter().enumerate() {
+        for b in &accesses[i + 1..] {
+            if a.tile == b.tile
+                || !(a.is_store || b.is_store)
+                || comp[a.tile] == comp[b.tile]
+                || a.lo >= b.hi
+                || b.lo >= a.hi
+            {
+                continue;
+            }
+            let pair = (a.tile.min(b.tile), a.tile.max(b.tile));
+            if reported.contains(&pair) {
+                continue;
+            }
+            reported.push(pair);
+            let (st, other) = if a.is_store { (a, b) } else { (b, a) };
+            let binding = &tiles[st.tile];
+            let func = module.function(binding.func);
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                pass: PASS,
+                func: func.name().to_string(),
+                func_id: binding.func,
+                inst: Some(st.inst),
+                queue: None,
+                message: format!(
+                    "possible data race: store {} on tile {} (bytes [{}, {})) \
+                     overlaps {} {} on tile {} (bytes [{}, {})) and the tiles \
+                     share no channel ordering",
+                    st.inst,
+                    st.tile,
+                    st.lo,
+                    st.hi,
+                    if other.is_store { "store" } else { "load" },
+                    other.inst,
+                    other.tile,
+                    other.lo,
+                    other.hi,
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosaic_ir::{FuncId, FunctionBuilder};
+
+    /// `f(ptr)`: for i in 0..8 { ptr[i] <- i } with an optional channel op.
+    fn writer(m: &mut Module, name: &str, queue: Option<(u32, bool)>) -> FuncId {
+        let f = m.add_function(name, vec![(String::from("p"), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let p = b.param(0);
+        b.emit_counted_loop("l", Constant::i64(0).into(), Constant::i64(8).into(), |b, iv| {
+            let addr = b.gep(p, iv, 8);
+            b.store(addr, iv);
+        });
+        match queue {
+            Some((q, true)) => b.send(q, Constant::i64(1).into()),
+            Some((q, false)) => {
+                b.recv(q, Type::I64);
+            }
+            None => {}
+        }
+        b.ret(None);
+        f
+    }
+
+    #[test]
+    fn overlapping_stores_without_channels_race() {
+        let mut m = Module::new("race");
+        let f = writer(&mut m, "w0", None);
+        let g = writer(&mut m, "w1", None);
+        // Both tiles write bytes [1000, 1064).
+        let tiles = vec![
+            TileBinding::new(f, 0, vec![Some(1000)]),
+            TileBinding::new(g, 0, vec![Some(1000)]),
+        ];
+        let mut report = LintReport::default();
+        run(&m, &tiles, &mut report);
+        assert_eq!(report.error_count(), 1, "findings: {report}");
+        assert!(report.diagnostics[0].message.contains("data race"));
+    }
+
+    #[test]
+    fn disjoint_regions_do_not_race() {
+        let mut m = Module::new("disjoint");
+        let f = writer(&mut m, "w0", None);
+        let g = writer(&mut m, "w1", None);
+        let tiles = vec![
+            TileBinding::new(f, 0, vec![Some(0)]),
+            TileBinding::new(g, 0, vec![Some(4096)]),
+        ];
+        let mut report = LintReport::default();
+        run(&m, &tiles, &mut report);
+        assert!(report.is_clean(), "findings: {report}");
+    }
+
+    #[test]
+    fn channel_ordering_suppresses_the_finding() {
+        let mut m = Module::new("sync");
+        let f = writer(&mut m, "w0", Some((0, true)));
+        let g = writer(&mut m, "w1", Some((0, false)));
+        let tiles = vec![
+            TileBinding::new(f, 0, vec![Some(1000)]),
+            TileBinding::new(g, 0, vec![Some(1000)]),
+        ];
+        let mut report = LintReport::default();
+        run(&m, &tiles, &mut report);
+        assert!(report.is_clean(), "findings: {report}");
+    }
+
+    #[test]
+    fn unknown_pointer_bindings_are_skipped() {
+        let mut m = Module::new("unknown");
+        let f = writer(&mut m, "w0", None);
+        let g = writer(&mut m, "w1", None);
+        let tiles = vec![
+            TileBinding::new(f, 0, vec![None]),
+            TileBinding::new(g, 0, vec![None]),
+        ];
+        let mut report = LintReport::default();
+        run(&m, &tiles, &mut report);
+        assert!(report.is_clean(), "findings: {report}");
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`accel`] | `mosaic-accel` | Analytic + cycle-level accelerator models — §IV |
 //! | [`core`] | `mosaic-core` | Interleaver, system builder, energy/EDP, runner — §II |
 //! | [`passes`] | `mosaic-passes` | DAE slicing (DeSC), DCE — §VII-A |
+//! | [`lint`] | `mosaic-lint` | Static channel-protocol, race, and liveness analysis over the IR |
 //! | [`kernels`] | `mosaic-kernels` | Parboil-style suite + case-study workloads — §VI/§VII |
 //!
 //! # Quickstart
@@ -56,6 +57,7 @@ pub use mosaic_core as core;
 pub use mosaic_ddg as ddg;
 pub use mosaic_ir as ir;
 pub use mosaic_kernels as kernels;
+pub use mosaic_lint as lint;
 pub use mosaic_mem as mem;
 pub use mosaic_passes as passes;
 pub use mosaic_tile as tile;
@@ -66,8 +68,8 @@ pub mod prelude {
     pub use mosaic_accel::{AccelBank, AccelConfig};
     pub use mosaic_core::{
         dae_channel, dae_memory, load_system_config, parse_system_config, record_trace,
-        simulate_single, simulate_spmd, small_memory, xeon_memory, EnergyModel, MosaicError,
-        SimError, SimReport, StallSnapshot, SystemBuilder,
+        simulate_single, simulate_spmd, small_memory, xeon_memory, EnergyModel, LintLevel,
+        MosaicError, SimError, SimReport, StallSnapshot, SystemBuilder,
     };
     pub use mosaic_ir::{
         parse_module, print_module, verify_module, BinOp, Constant, FunctionBuilder, MemImage,
