@@ -1,0 +1,169 @@
+//! Observability-overhead guard (DESIGN.md §4.5 overhead contract).
+//!
+//! The contract: `ObsLevel::Off` must cost nothing. Off is the builder
+//! default, so the guard A/B-tests the two ways of getting it — a builder
+//! that never mentions observability versus an explicit
+//! `.observe(ObsLevel::Off)` — with interleaved repetitions, and requires
+//! the explicit-Off wall time to be within 2% of the baseline. Any
+//! unconditionally-executed sampling smuggled into the hot path would
+//! also slow the absolute throughput recorded in `BENCH_obs.json`, which
+//! serves as the cross-run reference.
+//!
+//! The cost of *opting in* is reported alongside (Stats and Trace
+//! columns) so the price of sampling stays visible, and every level must
+//! produce bit-identical cycle counts — observability may never perturb
+//! timing.
+//!
+//! A plain `main` harness (no external bench framework); run with
+//! `cargo bench -p mosaic-bench --bench obs_overhead`. Writes
+//! machine-readable results to `BENCH_obs.json` in the workspace root.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mosaic_core::{xeon_memory, SystemBuilder};
+use mosaic_kernels::build_parboil;
+use mosaic_obs::ObsLevel;
+use mosaic_tile::CoreConfig;
+
+/// The DESIGN.md §4.5 contract: explicit `ObsLevel::Off` must be within
+/// this percentage of the default (no `.observe()` call) wall time.
+const MAX_OFF_OVERHEAD_PCT: f64 = 2.0;
+
+/// Timed modes, in the order they interleave within each repetition.
+/// `None` is the baseline: a builder that never calls `.observe()`.
+const MODES: [(&str, Option<ObsLevel>); 4] = [
+    ("baseline", None),
+    ("off", Some(ObsLevel::Off)),
+    ("stats", Some(ObsLevel::Stats)),
+    ("trace", Some(ObsLevel::Trace)),
+];
+
+struct Row {
+    kernel: &'static str,
+    cycles: u64,
+    instrs: u64,
+    /// Best wall seconds per mode, in `MODES` order.
+    wall: [f64; MODES.len()],
+}
+
+impl Row {
+    fn overhead_pct(&self, mode: usize) -> f64 {
+        (self.wall[mode] / self.wall[0] - 1.0) * 100.0
+    }
+}
+
+fn measure(kernel: &'static str, scale: u32, reps: u32) -> Row {
+    let p = build_parboil(kernel, scale);
+    let (trace, _) = p.trace(1).expect("trace");
+    let module = Arc::new(p.module.clone());
+    let trace = Arc::new(trace);
+    let instrs = trace.total_retired();
+    let mut cycles = [0u64; MODES.len()];
+    let mut wall = [f64::INFINITY; MODES.len()];
+    // Interleave the modes inside each repetition so clock drift and
+    // cache warmth hit all of them equally; the first repetition is the
+    // warm-up and its times are discarded.
+    for rep in 0..=reps {
+        for (i, (_, level)) in MODES.iter().enumerate() {
+            let mut builder = SystemBuilder::new(module.clone(), trace.clone())
+                .memory(xeon_memory())
+                .core(CoreConfig::out_of_order(), p.func, 0);
+            if let Some(level) = level {
+                builder = builder.observe(*level);
+            }
+            let start = Instant::now();
+            let report = builder.run().expect("simulate");
+            let secs = start.elapsed().as_secs_f64();
+            if rep > 0 {
+                wall[i] = wall[i].min(secs);
+            }
+            cycles[i] = report.cycles;
+        }
+    }
+    assert!(
+        cycles.iter().all(|&c| c == cycles[0]),
+        "{kernel}: observability level changed the cycle count: {cycles:?}"
+    );
+    Row {
+        kernel,
+        cycles: cycles[0],
+        instrs,
+        wall,
+    }
+}
+
+fn main() {
+    println!(
+        "{:<10} {:>12} {:>11} {:>11} {:>9} {:>11} {:>9} {:>11} {:>9}",
+        "kernel", "cycles", "base [s]", "off [s]", "off %", "stats [s]", "stats %", "trace [s]", "trace %"
+    );
+    let mut rows = Vec::new();
+    // BFS is latency-bound (long stall spans, many memory-request spans);
+    // SGEMM on an OoO core is the issue-rate-bound extreme where any
+    // per-cycle hook cost is amplified the most.
+    for (kernel, scale) in [("bfs", 1), ("sgemm", 1)] {
+        let r = measure(kernel, scale, 3);
+        println!(
+            "{:<10} {:>12} {:>11.3} {:>11.3} {:>8.2}% {:>11.3} {:>8.2}% {:>11.3} {:>8.2}%",
+            r.kernel,
+            r.cycles,
+            r.wall[0],
+            r.wall[1],
+            r.overhead_pct(1),
+            r.wall[2],
+            r.overhead_pct(2),
+            r.wall[3],
+            r.overhead_pct(3),
+        );
+        rows.push(r);
+    }
+
+    let mut json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"contract_max_off_overhead_pct\": {MAX_OFF_OVERHEAD_PCT},\n  \"results\": [\n"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"cycles\": {}, \"instrs\": {}, \
+             \"baseline_wall_secs\": {:.6}, \"off_wall_secs\": {:.6}, \
+             \"stats_wall_secs\": {:.6}, \"trace_wall_secs\": {:.6}, \
+             \"off_overhead_pct\": {:.3}, \"stats_overhead_pct\": {:.3}, \
+             \"trace_overhead_pct\": {:.3}, \
+             \"baseline_sim_cycles_per_sec\": {:.1}}}{}\n",
+            r.kernel,
+            r.cycles,
+            r.instrs,
+            r.wall[0],
+            r.wall[1],
+            r.wall[2],
+            r.wall[3],
+            r.overhead_pct(1),
+            r.overhead_pct(2),
+            r.overhead_pct(3),
+            r.cycles as f64 / r.wall[0],
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    // Walk up from the bench's CWD (crate dir under `cargo bench`) to the
+    // workspace root, identified by the `crates` subdirectory.
+    let mut dir = std::env::current_dir().expect("cwd");
+    while !dir.join("crates").is_dir() {
+        assert!(dir.pop(), "workspace root not found");
+    }
+    let out = dir.join("BENCH_obs.json");
+    std::fs::write(&out, json).expect("write BENCH_obs.json");
+    println!("wrote {}", out.display());
+
+    for r in &rows {
+        let off = r.overhead_pct(1);
+        assert!(
+            off <= MAX_OFF_OVERHEAD_PCT,
+            "{}: ObsLevel::Off costs {off:.2}% over the no-observability baseline \
+             (contract: <= {MAX_OFF_OVERHEAD_PCT}%)",
+            r.kernel
+        );
+    }
+    println!("ObsLevel::Off overhead within the {MAX_OFF_OVERHEAD_PCT}% contract on all kernels");
+}

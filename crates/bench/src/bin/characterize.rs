@@ -3,8 +3,15 @@
 //! (paper §II: "modeling compute or memory bottlenecks in order to
 //! provide hardware designers with the necessary insight").
 //!
+//! Every number comes out of the run's stats registry by dotted path
+//! (DESIGN.md §4.5) rather than from ad-hoc struct plumbing, so the
+//! columns here and a `mosaic-report --stats` dump of the same run are
+//! the same data by construction.
+//!
 //! Prints a CSV so the output drops straight into plotting scripts:
-//! `characterize [scale]` (default scale 1).
+//! `characterize [scale] [--dump DIR]` (default scale 1). With `--dump`,
+//! also writes each kernel's full registry to `DIR/<kernel>.json` —
+//! feed two of those files to `mosaic-report --diff` to compare runs.
 
 use mosaic_bench::run_spmd;
 use mosaic_core::{xeon_memory, EnergyModel};
@@ -12,10 +19,20 @@ use mosaic_kernels::{build_parboil, PARBOIL_NAMES};
 use mosaic_tile::CoreConfig;
 
 fn main() {
-    let scale: u32 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: u32 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let dump_dir = args
+        .iter()
+        .position(|a| a == "--dump")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(dir) = &dump_dir {
+        std::fs::create_dir_all(dir).expect("create dump dir");
+    }
     let energy = EnergyModel::default();
     println!(
         "kernel,cycles,retired,ipc,l1_miss_pct,llc_miss_pct,dram_lines,atomics,\
@@ -24,22 +41,22 @@ fn main() {
     for name in PARBOIL_NAMES {
         let p = build_parboil(name, scale);
         let r = run_spmd(&p, 1, CoreConfig::out_of_order(), xeon_memory());
-        let l1_total = r.mem.l1_hits + r.mem.l1_misses;
-        let llc_total = r.mem.llc_hits + r.mem.llc_misses;
-        let l1_miss = if l1_total > 0 {
-            100.0 * r.mem.l1_misses as f64 / l1_total as f64
-        } else {
-            0.0
+        let reg = &r.registry;
+        let miss_pct = |hits: &str, misses: &str| {
+            let (h, m) = (reg.counter(hits), reg.counter(misses));
+            if h + m > 0 {
+                100.0 * m as f64 / (h + m) as f64
+            } else {
+                0.0
+            }
         };
-        let llc_miss = if llc_total > 0 {
-            100.0 * r.mem.llc_misses as f64 / llc_total as f64
-        } else {
-            0.0
-        };
+        let l1_miss = miss_pct("mem.l1.hits", "mem.l1.misses");
+        let llc_miss = miss_pct("mem.llc.hits", "mem.llc.misses");
         // The paper's rule of thumb (§VI-A): low IPC = memory-bound.
-        let bound = if r.ipc() < 1.5 {
+        let ipc = reg.gauge("sim.ipc");
+        let bound = if ipc < 1.5 {
             "memory"
-        } else if r.ipc() < 3.0 {
+        } else if ipc < 3.0 {
             "mixed"
         } else {
             "compute"
@@ -47,18 +64,25 @@ fn main() {
         println!(
             "{},{},{},{:.3},{:.1},{:.1},{},{},{},{:.1},{:.1},{:.3e},{}",
             name,
-            r.cycles,
-            r.total_retired,
-            r.ipc(),
+            reg.counter("sim.cycles"),
+            reg.counter("sim.retired"),
+            ipc,
             l1_miss,
             llc_miss,
-            r.mem.dram_reads,
-            r.mem.atomics,
-            r.tiles[0].mispredicts,
+            reg.counter("mem.dram.reads"),
+            reg.counter("mem.atomics"),
+            reg.counter("tile.0.mispredicts"),
             r.core_energy_pj / 1e3,
             r.mem_energy_pj / 1e3,
             r.edp_js(&energy),
             bound
         );
+        if let Some(dir) = &dump_dir {
+            let path = format!("{dir}/{name}.json");
+            std::fs::write(&path, reg.to_json()).expect("write registry dump");
+        }
+    }
+    if let Some(dir) = &dump_dir {
+        eprintln!("[registry dumps written to {dir}/<kernel>.json — compare with mosaic-report --diff]");
     }
 }

@@ -14,6 +14,7 @@
 //! [`AccelSim`] (paper §IV-A).
 
 use mosaic_mem::{Completion, MemoryHierarchy};
+use mosaic_obs::ObsLevel;
 use mosaic_tile::{AccelSim, ChannelSet, Horizon, Tile, TileCtx, TileError, TileStallInfo};
 
 /// One channel's state at the moment a stall was diagnosed.
@@ -240,6 +241,16 @@ impl Interleaver {
     /// so the window is unused.
     pub fn set_watchdog_window(&mut self, window: u64) {
         self.watchdog_window = window.max(1);
+    }
+
+    /// Sets the observability level on every tile and the memory
+    /// hierarchy. At [`ObsLevel::Off`] (the default) the hot path pays
+    /// nothing; see `DESIGN.md` §4.5 for the overhead contract.
+    pub fn set_observe(&mut self, level: ObsLevel) {
+        for tile in &mut self.tiles {
+            tile.set_observe(level);
+        }
+        self.mem.set_observe(level);
     }
 
     /// Enables or disables event-horizon fast-forwarding in [`Self::run`]

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use mosaic_ir::{FuncId, Module};
 use mosaic_lint::{lint_system, LintLevel, TileBinding};
 use mosaic_mem::{CacheConfig, DramKind, HierarchyConfig, MemStats, MemoryHierarchy};
+use mosaic_obs::{IrProfile, ObsLevel, StatsRegistry, Timeline};
 use mosaic_tile::{
     AccelSim, ChannelConfig, ChannelSet, CoreConfig, CoreTile, NoAccel, Tile, TileStats,
 };
@@ -40,6 +41,20 @@ pub struct SimReport {
     pub mem_energy_pj: f64,
     /// Static energy over the run, pJ.
     pub static_energy_pj: f64,
+    /// Hierarchical statistics registry (`tile.*`, `mem.*`, `sim.*`
+    /// paths). Always populated — reading the counters after a run is
+    /// free; only *sampling* (histograms, per-instruction profile,
+    /// timeline spans) is gated behind [`SystemBuilder::observe`].
+    ///
+    /// Everything except the `sim.ff.*` scheduler diagnostics is
+    /// bit-identical between fast-forward and naive stepping.
+    pub registry: StatsRegistry,
+    /// Cycle-timeline spans in Chrome `trace_event` form (empty below
+    /// [`ObsLevel::Trace`]). Export with [`Timeline::to_chrome_json`].
+    pub timeline: Timeline,
+    /// Per-static-instruction profile: retires, attributed stall cycles,
+    /// memory-latency histograms (empty below [`ObsLevel::Stats`]).
+    pub profile: IrProfile,
 }
 
 impl SimReport {
@@ -142,6 +157,7 @@ pub struct SystemBuilder {
     fast_forward: bool,
     watchdog_window: Option<u64>,
     lint: LintLevel,
+    observe: ObsLevel,
 }
 
 impl fmt::Debug for SystemBuilder {
@@ -167,7 +183,20 @@ impl SystemBuilder {
             fast_forward: true,
             watchdog_window: None,
             lint: LintLevel::default(),
+            observe: ObsLevel::Off,
         }
+    }
+
+    /// Sets the observability level (default [`ObsLevel::Off`]).
+    ///
+    /// `Off` costs the hot path nothing and still yields a populated
+    /// [`SimReport::registry`]; `Stats` adds the per-instruction profile
+    /// and occupancy histograms; `Trace` additionally records timeline
+    /// spans for Chrome/Perfetto. All registry counters are bit-identical
+    /// across levels and across fast-forward/naive stepping.
+    pub fn observe(mut self, level: ObsLevel) -> Self {
+        self.observe = level;
+        self
     }
 
     /// Sets the pre-simulation lint gate's strictness (default
@@ -354,7 +383,11 @@ impl SystemBuilder {
         self.validate()?;
         self.lint_gate()?;
         let ntiles = self.tiles.len();
-        let mem = MemoryHierarchy::new(self.memory, ntiles.max(1));
+        let mut mem = MemoryHierarchy::new(self.memory, ntiles.max(1));
+        // A warmed or reused hierarchy must never leak hit/miss counts
+        // into this run's report (sweep rows would otherwise accumulate):
+        // every build starts from zeroed stats.
+        mem.reset_stats();
         let channels = ChannelSet::new(self.channel);
         let accel: Box<dyn AccelSim> = self.accel.unwrap_or_else(|| Box::new(NoAccel));
         let tiles: Vec<Box<dyn Tile>> = self
@@ -375,6 +408,7 @@ impl SystemBuilder {
         let mut il = Interleaver::new(tiles, mem, channels, accel);
         il.set_cycle_limit(self.cycle_limit);
         il.set_fast_forward(self.fast_forward);
+        il.set_observe(self.observe);
         if let Some(w) = self.watchdog_window {
             il.set_watchdog_window(w);
         }
@@ -390,23 +424,68 @@ impl SystemBuilder {
     /// deadlocks, exceeds the cycle cap, or a tile faults.
     pub fn run(self) -> Result<SimReport, MosaicError> {
         let energy = self.energy;
+        let observe = self.observe;
         let areas: Vec<f64> = self.tiles.iter().map(|t| t.config.area_mm2).collect();
         let mut il = self.build()?;
         let cycles = il.run().map_err(MosaicError::Sim)?;
-        let (tiles, mem, _channels) = il.into_parts();
+        let (steps_executed, cycles_skipped, skips_taken) = (
+            il.steps_executed(),
+            il.cycles_skipped(),
+            il.skips_taken(),
+        );
+        let (mut tiles, mut mem, _channels) = il.into_parts();
         let tile_stats: Vec<TileStats> = tiles.iter().map(|t| t.stats().clone()).collect();
         let mem_stats = mem.stats();
         let core_energy: f64 = tile_stats.iter().map(|t| t.energy_pj).sum();
         let total_area: f64 = areas.iter().sum();
+        let total_retired: u64 = tile_stats.iter().map(|t| t.retired).sum();
+
+        // Assemble the hierarchical registry. Registration reads the
+        // tiles' and hierarchy's native hot-path counters, so this is
+        // free at any observability level.
+        let mut registry = StatsRegistry::new();
+        for (slot, t) in tile_stats.iter().enumerate() {
+            t.register_into(&mut registry, slot);
+        }
+        mem.register_into(&mut registry);
+        registry.set_counter("sim.cycles", cycles);
+        registry.set_counter("sim.retired", total_retired);
+        if cycles > 0 {
+            registry.set_gauge("sim.ipc", total_retired as f64 / cycles as f64);
+        }
+        // Scheduler diagnostics: the one registry namespace that is
+        // *intentionally* mode-dependent (naive stepping executes every
+        // cycle, fast-forward skips provably-idle ones).
+        registry.set_counter("sim.ff.steps_executed", steps_executed);
+        registry.set_counter("sim.ff.cycles_skipped", cycles_skipped);
+        registry.set_counter("sim.ff.skips_taken", skips_taken);
+
+        let mut timeline = Timeline::new();
+        if observe.trace_on() {
+            for (slot, tile) in tiles.iter_mut().enumerate() {
+                timeline.merge(tile.take_timeline(slot));
+            }
+            timeline.merge(mem.take_timeline());
+        }
+        let mut profile = IrProfile::new();
+        if observe.stats_on() {
+            for tile in tiles.iter_mut() {
+                profile.merge(&tile.take_profile());
+            }
+        }
+
         Ok(SimReport {
             cycles,
-            total_retired: tile_stats.iter().map(|t| t.retired).sum(),
+            total_retired,
             tiles: tile_stats,
             mem: mem_stats,
             dram_throttled: mem.dram_throttled_cycles(),
             core_energy_pj: core_energy,
             mem_energy_pj: energy.memory_energy_pj(&mem_stats),
             static_energy_pj: energy.static_energy_pj(total_area, cycles),
+            registry,
+            timeline,
+            profile,
         })
     }
 }

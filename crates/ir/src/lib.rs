@@ -80,7 +80,7 @@ pub use inst::{
 pub use interp::{run_single, run_tiles, ExecError, ExecOutcome, TileProgram, TraceSink};
 pub use mem_image::{MemImage, RtVal};
 pub use parser::{parse_module, parse_module_with_spans, SpanTable};
-pub use printer::{print_function, print_module};
+pub use printer::{print_function, print_inst, print_module};
 pub use types::{Constant, Type};
 pub use verify::{verify_channels, verify_function, verify_module};
 

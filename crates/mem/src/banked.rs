@@ -226,6 +226,14 @@ impl BankedDram {
     pub fn total_requests(&self) -> u64 {
         self.total_requests
     }
+
+    /// Zeroes the row-buffer/request counters, keeping queued requests.
+    pub fn reset_stats(&mut self) {
+        self.row_hits = 0;
+        self.row_misses = 0;
+        self.row_conflicts = 0;
+        self.total_requests = 0;
+    }
 }
 
 #[cfg(test)]

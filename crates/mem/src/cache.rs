@@ -272,6 +272,15 @@ impl Cache {
             self.misses as f64 / self.accesses as f64
         }
     }
+
+    /// Zeroes the hit/miss/access counters, keeping cache contents.
+    /// Used between sweep rows that reuse a hierarchy so one row's
+    /// traffic never leaks into the next row's report.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.accesses = 0;
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use mosaic_obs::{Log2Histogram, ObsLevel, StatsRegistry, Timeline};
+
 use crate::banked::{BankedDram, BankedDramConfig};
 use crate::cache::{Cache, CacheConfig};
 use crate::mshr::{Mshr, MshrOutcome};
@@ -214,6 +216,18 @@ pub struct MemoryHierarchy {
     completions: Vec<Completion>,
     stats: MemStats,
     atomic_free_at: u64,
+    obs: ObsLevel,
+    timeline: Timeline,
+    /// Issue cycle per in-flight demand request (populated only at
+    /// `ObsLevel::Trace`, for request-lifetime spans).
+    req_issue: HashMap<ReqId, u64>,
+    /// DRAM service entry cycle per in-flight request (Trace only).
+    dram_enter: HashMap<ReqId, u64>,
+    /// MSHR occupancy distributions, sampled at every allocation
+    /// attempt (populated only at `ObsLevel::Stats` and above).
+    occ_l1: Log2Histogram,
+    occ_l2: Log2Histogram,
+    occ_llc: Log2Histogram,
 }
 
 impl MemoryHierarchy {
@@ -256,7 +270,133 @@ impl MemoryHierarchy {
             completions: Vec::new(),
             stats: MemStats::default(),
             atomic_free_at: 0,
+            obs: ObsLevel::Off,
+            timeline: Timeline::new(),
+            req_issue: HashMap::new(),
+            dram_enter: HashMap::new(),
+            occ_l1: Log2Histogram::new(),
+            occ_l2: Log2Histogram::new(),
+            occ_llc: Log2Histogram::new(),
             config,
+        }
+    }
+
+    /// Sets the observability level. At [`ObsLevel::Off`] (the
+    /// default) no sample or span is ever recorded; at
+    /// [`ObsLevel::Stats`] MSHR occupancy histograms are sampled; at
+    /// [`ObsLevel::Trace`] request-lifetime and DRAM-service spans are
+    /// additionally recorded into the timeline.
+    pub fn set_observe(&mut self, level: ObsLevel) {
+        self.obs = level;
+    }
+
+    /// Takes the recorded timeline (empty below [`ObsLevel::Trace`]).
+    pub fn take_timeline(&mut self) -> Timeline {
+        let mut t = std::mem::take(&mut self.timeline);
+        if !t.is_empty() {
+            t.process_name(1, "memory");
+            for tile in 0..self.l1.len() {
+                t.thread_name(1, tile as u32, format!("mem reqs tile {tile}"));
+            }
+            t.thread_name(1, self.l1.len() as u32, "dram");
+        }
+        t
+    }
+
+    /// Zeroes every statistic — the aggregate [`MemStats`], each
+    /// cache's hit/miss counters, MSHR coalesce/full counters, DRAM
+    /// counters, and occupancy histograms — while keeping cache and
+    /// queue contents. Sweep rows that reuse a hierarchy call this so
+    /// one row's hit/miss counts never leak into the next.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+        for c in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            c.reset_stats();
+        }
+        self.llc.reset_stats();
+        for m in self.l1_mshr.iter_mut().chain(self.l2_mshr.iter_mut()) {
+            m.reset_counters();
+        }
+        self.llc_mshr.reset_counters();
+        if let Some(d) = self.dram_simple.as_mut() {
+            d.reset_stats();
+        }
+        if let Some(d) = self.dram_banked.as_mut() {
+            d.reset_stats();
+        }
+        self.occ_l1.reset();
+        self.occ_l2.reset();
+        self.occ_llc.reset();
+        self.timeline = Timeline::new();
+    }
+
+    /// Registers every counter of the hierarchy into `reg` under
+    /// stable `mem.*` paths: aggregate `mem.<level>.{hits,misses}`,
+    /// per-instance `mem.<level>.<tile>.*`, MSHR
+    /// `mem.<level>.mshr.{coalesced,full_stalls,occupancy}`, and
+    /// `mem.dram.*` (including row-buffer stats for the banked model).
+    pub fn register_into(&self, reg: &mut StatsRegistry) {
+        let s = &self.stats;
+        reg.set_counter("mem.l1.hits", s.l1_hits);
+        reg.set_counter("mem.l1.misses", s.l1_misses);
+        reg.set_counter("mem.l2.hits", s.l2_hits);
+        reg.set_counter("mem.l2.misses", s.l2_misses);
+        reg.set_counter("mem.llc.hits", s.llc_hits);
+        reg.set_counter("mem.llc.misses", s.llc_misses);
+        reg.set_counter("mem.dram.reads", s.dram_reads);
+        reg.set_counter("mem.dram.writebacks", s.dram_writebacks);
+        reg.set_counter("mem.atomics", s.atomics);
+        reg.set_counter("mem.prefetches", s.prefetches);
+        for (i, c) in self.l1.iter().enumerate() {
+            reg.set_counter(&format!("mem.l1.{i}.hits"), c.hits());
+            reg.set_counter(&format!("mem.l1.{i}.misses"), c.misses());
+            reg.set_counter(&format!("mem.l1.{i}.accesses"), c.accesses());
+        }
+        for (i, c) in self.l2.iter().enumerate() {
+            reg.set_counter(&format!("mem.l2.{i}.hits"), c.hits());
+            reg.set_counter(&format!("mem.l2.{i}.misses"), c.misses());
+            reg.set_counter(&format!("mem.l2.{i}.accesses"), c.accesses());
+        }
+        reg.set_counter("mem.llc.accesses", self.llc.accesses());
+        let sum = |ms: &[Mshr], f: fn(&Mshr) -> u64| ms.iter().map(f).sum::<u64>();
+        reg.set_counter(
+            "mem.l1.mshr.coalesced",
+            sum(&self.l1_mshr, Mshr::coalesced_count),
+        );
+        reg.set_counter(
+            "mem.l1.mshr.full_stalls",
+            sum(&self.l1_mshr, Mshr::full_stall_count),
+        );
+        if !self.l2_mshr.is_empty() {
+            reg.set_counter(
+                "mem.l2.mshr.coalesced",
+                sum(&self.l2_mshr, Mshr::coalesced_count),
+            );
+            reg.set_counter(
+                "mem.l2.mshr.full_stalls",
+                sum(&self.l2_mshr, Mshr::full_stall_count),
+            );
+        }
+        reg.set_counter("mem.llc.mshr.coalesced", self.llc_mshr.coalesced_count());
+        reg.set_counter("mem.llc.mshr.full_stalls", self.llc_mshr.full_stall_count());
+        if self.occ_l1.count() > 0 {
+            reg.set_histogram("mem.l1.mshr.occupancy", self.occ_l1.clone());
+        }
+        if self.occ_l2.count() > 0 {
+            reg.set_histogram("mem.l2.mshr.occupancy", self.occ_l2.clone());
+        }
+        if self.occ_llc.count() > 0 {
+            reg.set_histogram("mem.llc.mshr.occupancy", self.occ_llc.clone());
+        }
+        if let Some(d) = self.dram_simple.as_ref() {
+            reg.set_counter("mem.dram.requests", d.total_requests());
+            reg.set_counter("mem.dram.throttled_cycles", d.throttled_cycles());
+        }
+        if let Some(d) = self.dram_banked.as_ref() {
+            reg.set_counter("mem.dram.requests", d.total_requests());
+            reg.set_counter("mem.dram.row_hits", d.row_hits());
+            reg.set_counter("mem.dram.row_misses", d.row_misses());
+            reg.set_counter("mem.dram.row_conflicts", d.row_conflicts());
         }
     }
 
@@ -316,6 +456,9 @@ impl MemoryHierarchy {
                 writeback: false,
             },
         );
+        if self.obs.trace_on() && req.kind.wants_completion() {
+            self.req_issue.insert(id, now);
+        }
         match req.kind {
             AccessKind::Atomic => {
                 self.stats.atomics += 1;
@@ -360,6 +503,16 @@ impl MemoryHierarchy {
     fn complete(&mut self, id: ReqId, now: u64) {
         if let Some(st) = self.states.remove(&id) {
             if st.kind.wants_completion() && !st.writeback {
+                if let Some(t0) = self.req_issue.remove(&id) {
+                    self.timeline.span(
+                        1,
+                        st.tile as u32,
+                        "mem",
+                        format!("{} line 0x{:x}", kind_label(st.kind), st.line),
+                        t0,
+                        now,
+                    );
+                }
                 self.completions.push(Completion {
                     id,
                     tile: st.tile,
@@ -437,6 +590,16 @@ impl MemoryHierarchy {
             return;
         };
         let write = st.kind.is_write();
+        if self.obs.stats_on() {
+            // Sample MSHR occupancy at every lookup event. Lookup
+            // cycles are identical under fast-forward and naive
+            // stepping, so these histograms are bit-identical too.
+            match level {
+                Level::L1 => self.occ_l1.record(self.l1_mshr[st.tile].occupancy() as u64),
+                Level::L2 => self.occ_l2.record(self.l2_mshr[st.tile].occupancy() as u64),
+                Level::Llc => self.occ_llc.record(self.llc_mshr.occupancy() as u64),
+            }
+        }
         match level {
             Level::L1 => {
                 if self.l1[st.tile].probe(st.line) {
@@ -563,6 +726,9 @@ impl MemoryHierarchy {
                 }
             }
             self.dram_addr.insert(id, st.line);
+            if self.obs.trace_on() {
+                self.dram_enter.insert(id, now);
+            }
             return;
         }
         self.stats.dram_reads += 1;
@@ -576,10 +742,21 @@ impl MemoryHierarchy {
             }
         }
         self.dram_addr.insert(id, st.line);
+        if self.obs.trace_on() {
+            self.dram_enter.insert(id, now);
+        }
     }
 
     fn dram_complete(&mut self, id: ReqId, now: u64) {
-        self.dram_addr.remove(&id);
+        let line = self.dram_addr.remove(&id);
+        if let Some(t0) = self.dram_enter.remove(&id) {
+            let lane = self.l1.len() as u32;
+            let name = match line {
+                Some(l) => format!("line 0x{l:x}"),
+                None => "dram".to_string(),
+            };
+            self.timeline.span(1, lane, "dram", name, t0, now);
+        }
         let Some(st) = self.states.get(&id).copied() else {
             return;
         };
@@ -714,6 +891,16 @@ impl MemoryHierarchy {
     /// Per-tile L1 miss ratio (for characterization reports).
     pub fn l1_miss_ratio(&self, tile: usize) -> f64 {
         self.l1[tile].miss_ratio()
+    }
+}
+
+/// Short stable label for timeline span names.
+fn kind_label(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Read => "ld",
+        AccessKind::Write => "st",
+        AccessKind::Atomic => "atomic",
+        AccessKind::Prefetch => "prefetch",
     }
 }
 
@@ -996,6 +1183,82 @@ mod tests {
             t += 1;
             assert!(t < 100_000);
         }
+    }
+
+    #[test]
+    fn reset_stats_zeroes_every_counter_between_rows() {
+        let mut h = hier(2);
+        for (i, addr) in [0x1000u64, 0x1000, 0x2000, 0x9000].iter().enumerate() {
+            let t = run_one(
+                &mut h,
+                MemReq {
+                    tile: i % 2,
+                    addr: *addr,
+                    size: 8,
+                    kind: AccessKind::Read,
+                },
+                (i as u64) * 500,
+            );
+            assert!(t > 0);
+        }
+        assert!(h.stats().l1_misses > 0);
+        let mut reg = StatsRegistry::new();
+        h.register_into(&mut reg);
+        assert!(reg.counter("mem.l1.misses") > 0);
+        assert!(reg.counter("mem.dram.requests") > 0);
+
+        h.reset_stats();
+        assert_eq!(h.stats(), MemStats::default());
+        let mut reg2 = StatsRegistry::new();
+        h.register_into(&mut reg2);
+        for (path, _) in reg2.iter() {
+            assert_eq!(reg2.counter(path), 0, "{path} survived reset");
+        }
+        // Cache contents survive: the warmed line still hits.
+        let t = run_one(
+            &mut h,
+            MemReq {
+                tile: 0,
+                addr: 0x1000,
+                size: 8,
+                kind: AccessKind::Read,
+            },
+            10_000,
+        ) - 10_000;
+        assert_eq!(t, 1, "reset must keep cache contents, only zero counters");
+        assert_eq!(h.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn trace_level_records_request_and_dram_spans() {
+        let mut h = hier(1);
+        h.set_observe(ObsLevel::Trace);
+        let req = MemReq {
+            tile: 0,
+            addr: 0x4000,
+            size: 4,
+            kind: AccessKind::Read,
+        };
+        let done = run_one(&mut h, req, 0);
+        let tl = h.take_timeline();
+        assert!(
+            tl.spans().iter().any(|s| s.cat == "mem" && s.end == done),
+            "expected a request-lifetime span ending at completion"
+        );
+        assert!(
+            tl.spans().iter().any(|s| s.cat == "dram"),
+            "expected a DRAM service span for the cold miss"
+        );
+        // Off records nothing.
+        let mut h2 = hier(1);
+        let _ = run_one(&mut h2, req, 0);
+        assert!(h2.take_timeline().is_empty());
+        let mut reg = StatsRegistry::new();
+        h2.register_into(&mut reg);
+        assert!(
+            reg.get("mem.l1.mshr.occupancy").is_none(),
+            "occupancy histograms only recorded at Stats and above"
+        );
     }
 }
 

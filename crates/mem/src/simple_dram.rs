@@ -177,6 +177,12 @@ impl SimpleDram {
     pub fn throttled_cycles(&self) -> u64 {
         self.throttled_cycles
     }
+
+    /// Zeroes the request/throttle counters, keeping queued requests.
+    pub fn reset_stats(&mut self) {
+        self.total_requests = 0;
+        self.throttled_cycles = 0;
+    }
 }
 
 #[cfg(test)]

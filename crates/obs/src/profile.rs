@@ -1,0 +1,215 @@
+//! IR-level profiling: attributing dynamic cost to static instructions.
+
+use std::collections::BTreeMap;
+
+use crate::registry::Log2Histogram;
+
+/// Number of [`StallKind`] variants (array dimension of per-kind
+/// stall counters).
+pub const STALL_KINDS: usize = 5;
+
+/// Why an instruction failed to issue on a given cycle.
+///
+/// Mirrors the aggregate `TileStats` stall counters so per-instruction
+/// attribution sums to the per-tile totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallKind {
+    /// Issue-window / dependence stall (operands not ready).
+    Window = 0,
+    /// Functional-unit structural stall.
+    Fu = 1,
+    /// Memory stall (atomics, descriptor buffer, MAO ordering).
+    Mem = 2,
+    /// Channel send blocked on a full buffer.
+    Send = 3,
+    /// Channel recv blocked on an empty buffer.
+    Recv = 4,
+}
+
+impl StallKind {
+    /// A short stable label (`window`, `fu`, `mem`, `send`, `recv`).
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::Window => "window",
+            StallKind::Fu => "fu",
+            StallKind::Mem => "mem",
+            StallKind::Send => "send",
+            StallKind::Recv => "recv",
+        }
+    }
+
+    /// All kinds in index order.
+    pub fn all() -> [StallKind; STALL_KINDS] {
+        [
+            StallKind::Window,
+            StallKind::Fu,
+            StallKind::Mem,
+            StallKind::Send,
+            StallKind::Recv,
+        ]
+    }
+}
+
+/// A static instruction key: raw `(function, instruction)` ids.
+///
+/// Raw `u32`s rather than IR types keep this crate dependency-free;
+/// `mosaic-report` maps keys back to printed IR using the module.
+pub type InstKey = (u32, u32);
+
+/// Dynamic cost attributed to one static instruction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InstProfile {
+    /// Dynamic instances retired.
+    pub retired: u64,
+    /// Stall cycles charged to this instruction, by [`StallKind`] index.
+    pub stalls: [u64; STALL_KINDS],
+    /// Observed memory latencies (issue → completion), loads/stores only.
+    pub mem_lat: Log2Histogram,
+}
+
+impl InstProfile {
+    /// Total stall cycles across all kinds.
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// The dominant stall kind, if any stalls were recorded.
+    pub fn dominant_stall(&self) -> Option<StallKind> {
+        let (idx, &n) = self
+            .stalls
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &n)| n)?;
+        if n == 0 {
+            None
+        } else {
+            Some(StallKind::all()[idx])
+        }
+    }
+}
+
+/// Per-static-instruction profile of an entire run (possibly merged
+/// across tiles executing the same function).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IrProfile {
+    map: BTreeMap<InstKey, InstProfile>,
+}
+
+impl IrProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Credits `n` retirements to `key`.
+    pub fn retire(&mut self, key: InstKey, n: u64) {
+        self.map.entry(key).or_default().retired += n;
+    }
+
+    /// Charges `cycles` stall cycles of `kind` to `key`.
+    pub fn stall(&mut self, key: InstKey, kind: StallKind, cycles: u64) {
+        self.map.entry(key).or_default().stalls[kind as usize] += cycles;
+    }
+
+    /// Records one observed memory latency for `key`.
+    pub fn mem_latency(&mut self, key: InstKey, latency: u64) {
+        self.map.entry(key).or_default().mem_lat.record(latency);
+    }
+
+    /// The profile for `key`, if any cost was attributed.
+    pub fn get(&self, key: InstKey) -> Option<&InstProfile> {
+        self.map.get(&key)
+    }
+
+    /// Iterates `(key, profile)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstKey, &InstProfile)> {
+        self.map.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Number of instructions with attributed cost.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no cost has been attributed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merges `other` into `self` (counters add, histograms merge
+    /// exactly, bucket-wise and moment-wise).
+    pub fn merge(&mut self, other: &IrProfile) {
+        for (key, p) in other.iter() {
+            let e = self.map.entry(key).or_default();
+            e.retired += p.retired;
+            for k in 0..STALL_KINDS {
+                e.stalls[k] += p.stalls[k];
+            }
+            e.mem_lat.merge_from(&p.mem_lat);
+        }
+    }
+
+    /// The `n` most expensive instructions by `total_stalls`, ties
+    /// broken by retirements then key (descending cost).
+    pub fn top(&self, n: usize) -> Vec<(InstKey, &InstProfile)> {
+        let mut rows: Vec<(InstKey, &InstProfile)> = self.iter().collect();
+        rows.sort_by(|a, b| {
+            b.1.total_stalls()
+                .cmp(&a.1.total_stalls())
+                .then(b.1.retired.cmp(&a.1.retired))
+                .then(a.0.cmp(&b.0))
+        });
+        rows.truncate(n);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_accumulates() {
+        let mut p = IrProfile::new();
+        p.retire((0, 3), 10);
+        p.retire((0, 3), 5);
+        p.stall((0, 3), StallKind::Mem, 100);
+        p.stall((0, 3), StallKind::Window, 2);
+        p.mem_latency((0, 3), 40);
+        let e = p.get((0, 3)).unwrap();
+        assert_eq!(e.retired, 15);
+        assert_eq!(e.total_stalls(), 102);
+        assert_eq!(e.dominant_stall(), Some(StallKind::Mem));
+        assert_eq!(e.mem_lat.count(), 1);
+    }
+
+    #[test]
+    fn top_sorts_by_stalls() {
+        let mut p = IrProfile::new();
+        p.stall((0, 1), StallKind::Fu, 5);
+        p.stall((0, 2), StallKind::Mem, 50);
+        p.retire((0, 9), 1000);
+        let top = p.top(2);
+        assert_eq!(top[0].0, (0, 2));
+        assert_eq!(top[1].0, (0, 1));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_moments() {
+        let mut a = IrProfile::new();
+        a.retire((1, 1), 3);
+        a.mem_latency((1, 1), 8);
+        let mut b = IrProfile::new();
+        b.retire((1, 1), 4);
+        b.mem_latency((1, 1), 32);
+        b.stall((1, 1), StallKind::Recv, 7);
+        a.merge(&b);
+        let e = a.get((1, 1)).unwrap();
+        assert_eq!(e.retired, 7);
+        assert_eq!(e.stalls[StallKind::Recv as usize], 7);
+        assert_eq!(e.mem_lat.count(), 2);
+        assert_eq!(e.mem_lat.sum(), 40);
+        assert_eq!(e.mem_lat.min(), 8);
+        assert_eq!(e.mem_lat.max(), 32);
+    }
+}

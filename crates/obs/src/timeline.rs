@@ -1,0 +1,187 @@
+//! Cycle-timeline span recording and Chrome `trace_event` export.
+
+use std::fmt::Write as _;
+
+use crate::json;
+
+/// One half-open span `[start, end)` of simulated cycles on a
+/// (process, thread) track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Track process id (0 = tiles, 1 = memory by convention).
+    pub pid: u32,
+    /// Track thread id within the process (tile slot, memory lane).
+    pub tid: u32,
+    /// Event category (`"tile"`, `"stall"`, `"mem"`, `"accel"`).
+    pub cat: &'static str,
+    /// Human-readable span name (instruction, stall reason, level).
+    pub name: String,
+    /// First cycle covered by the span.
+    pub start: u64,
+    /// First cycle after the span.
+    pub end: u64,
+}
+
+/// A sink of [`Span`]s plus track-naming metadata, exportable as
+/// Chrome `trace_event` JSON (the format `chrome://tracing` and
+/// Perfetto load).
+///
+/// Simulated cycles are written as microseconds (`ts`/`dur`), so one
+/// viewer microsecond is one global cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Timeline {
+    spans: Vec<Span>,
+    processes: Vec<(u32, String)>,
+    threads: Vec<(u32, u32, String)>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a span; `end <= start` records a 1-cycle span.
+    pub fn span(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        cat: &'static str,
+        name: impl Into<String>,
+        start: u64,
+        end: u64,
+    ) {
+        self.spans.push(Span {
+            pid,
+            tid,
+            cat,
+            name: name.into(),
+            start,
+            end: end.max(start + 1),
+        });
+    }
+
+    /// Names a process track (emitted as `process_name` metadata).
+    pub fn process_name(&mut self, pid: u32, name: impl Into<String>) {
+        let name = name.into();
+        if !self.processes.iter().any(|(p, _)| *p == pid) {
+            self.processes.push((pid, name));
+        }
+    }
+
+    /// Names a thread track (emitted as `thread_name` metadata).
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: impl Into<String>) {
+        let name = name.into();
+        if !self.threads.iter().any(|(p, t, _)| *p == pid && *t == tid) {
+            self.threads.push((pid, tid, name));
+        }
+    }
+
+    /// Appends all spans and track names from `other`.
+    pub fn merge(&mut self, other: Timeline) {
+        self.spans.extend(other.spans);
+        for (pid, name) in other.processes {
+            self.process_name(pid, name);
+        }
+        for (pid, tid, name) in other.threads {
+            self.thread_name(pid, tid, name);
+        }
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Serializes as Chrome `trace_event` JSON: an object with a
+    /// `traceEvents` array of complete (`"ph":"X"`) events plus
+    /// `process_name`/`thread_name` metadata (`"ph":"M"`) records.
+    pub fn to_chrome_json(&self) -> String {
+        let mut s = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        for (pid, name) in &self.processes {
+            push_event(&mut s, &mut first, &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                json::escape(name)
+            ));
+        }
+        for (pid, tid, name) in &self.threads {
+            push_event(&mut s, &mut first, &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                json::escape(name)
+            ));
+        }
+        for sp in &self.spans {
+            push_event(&mut s, &mut first, &format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"cat\":\"{}\",\"name\":\"{}\",\"ts\":{},\"dur\":{}}}",
+                sp.pid,
+                sp.tid,
+                sp.cat,
+                json::escape(&sp.name),
+                sp.start,
+                sp.end - sp.start
+            ));
+        }
+        s.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        s
+    }
+}
+
+fn push_event(s: &mut String, first: &mut bool, event: &str) {
+    if !*first {
+        s.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(s, "  {event}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+
+    #[test]
+    fn chrome_json_parses_and_has_complete_events() {
+        let mut t = Timeline::new();
+        t.process_name(0, "tiles");
+        t.thread_name(0, 3, "tile.3 core");
+        t.span(0, 3, "tile", "active", 0, 128);
+        t.span(1, 0, "mem", "ld @0x40", 10, 10); // zero-length clamps to 1
+        let doc = t.to_chrome_json();
+        let v = parse(&doc).expect("trace must be valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 4);
+        let complete: Vec<&JsonValue> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        assert_eq!(complete[0].get("dur").unwrap().as_u64(), Some(128));
+        assert_eq!(complete[1].get("dur").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn merge_combines_spans_and_tracks() {
+        let mut a = Timeline::new();
+        a.span(0, 0, "tile", "x", 0, 5);
+        a.thread_name(0, 0, "tile.0");
+        let mut b = Timeline::new();
+        b.span(1, 0, "mem", "y", 2, 9);
+        b.thread_name(0, 0, "dup ignored");
+        b.thread_name(1, 0, "mem");
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.threads.len(), 2);
+        assert_eq!(a.threads[0].2, "tile.0");
+    }
+}

@@ -27,6 +27,7 @@ use std::sync::Arc;
 use mosaic_ddg::{InstClass, MemKind, StaticDdg};
 use mosaic_ir::{BlockId, FuncId, InstId, Module, Opcode};
 use mosaic_mem::{AccessKind, MemError, MemReq, ReqId};
+use mosaic_obs::{IrProfile, ObsLevel, StallKind, Timeline};
 use mosaic_trace::TileTrace;
 
 use crate::config::{fused_insts, BranchMode, CoreConfig};
@@ -97,6 +98,55 @@ struct SkipStalls {
     /// MAO-internal classification of each MAO-rejected candidate (these
     /// also count once in `mem`).
     mao: Vec<MaoStall>,
+    /// Per-static-instruction attribution of the same stalls, populated
+    /// only when observability is on. Mirrors `issue()`'s per-site
+    /// attribution exactly so fast-forward crediting (this profile ×
+    /// skipped cycles) stays bit-identical to naive stepping.
+    per_inst: Vec<(u32, StallKind)>,
+}
+
+/// Hot-path observability state, allocated only when
+/// [`Tile::set_observe`] raises the level above [`ObsLevel::Off`] — at
+/// `Off` the only cost anywhere in the tile is a `None` check.
+#[derive(Debug, Default)]
+struct TileObs {
+    level: ObsLevel,
+    profile: IrProfile,
+    timeline: Timeline,
+    /// In-flight memory requests: (static instruction, issue cycle).
+    mem_meta: HashMap<ReqId, (u32, u64)>,
+    /// Open compute/stall interval: (is_stall, start cycle).
+    interval: Option<(bool, u64)>,
+    /// First cycle the tile was stepped.
+    first_step: Option<u64>,
+    /// Last cycle the tile was stepped while active.
+    last_seen: u64,
+}
+
+impl TileObs {
+    fn push_interval(&mut self, tid: u32, stalled: bool, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        let (cat, name) = if stalled {
+            ("stall", "stall")
+        } else {
+            ("tile", "compute")
+        };
+        self.timeline.span(0, tid, cat, name, start, end);
+    }
+
+    /// Extends or transitions the open compute/stall interval at `now`.
+    fn note_cycle(&mut self, tid: u32, now: u64, stalled: bool) {
+        match self.interval {
+            Some((was, _)) if was == stalled => {}
+            Some((was, start)) => {
+                self.push_interval(tid, was, start, now);
+                self.interval = Some((stalled, now));
+            }
+            None => self.interval = Some((stalled, now)),
+        }
+    }
 }
 
 /// Result of the read-only one-cycle dry run backing
@@ -157,6 +207,9 @@ pub struct CoreTile {
     /// horizon computation, so the state cannot have changed between
     /// them).
     skip_cache: std::cell::RefCell<Option<(u64, SkipStalls)>>,
+    /// Observability state; `None` at `ObsLevel::Off` so the hot path
+    /// pays only a pointer-null check.
+    obs: Option<Box<TileObs>>,
 }
 
 impl std::fmt::Debug for CoreTile {
@@ -229,6 +282,7 @@ impl CoreTile {
             done: false,
             stats,
             skip_cache: std::cell::RefCell::new(None),
+            obs: None,
         }
     }
 
@@ -540,6 +594,9 @@ impl CoreTile {
         self.incomplete.remove(&seq);
         self.ready.remove(&seq);
         self.stats.retired += 1;
+        if let Some(o) = self.obs.as_mut() {
+            o.profile.retire((self.func.0, di.static_id.0), 1);
+        }
         if di.mem.is_some() {
             self.mao.complete(seq);
             if di.class == InstClass::Atomic && matches!(di.state, DynState::Issued) {
@@ -595,6 +652,24 @@ impl CoreTile {
         }
     }
 
+    /// Credits `cycles` stall cycles of `kind` to static instruction
+    /// `inst` in the IR profile, when observability is on.
+    #[inline]
+    fn obs_stall(&mut self, inst: u32, kind: StallKind, cycles: u64) {
+        if let Some(o) = self.obs.as_mut() {
+            o.profile.stall((self.func.0, inst), kind, cycles);
+        }
+    }
+
+    /// Remembers which static instruction issued memory request `id` and
+    /// when, so `on_mem_completion` can attribute the round-trip latency.
+    #[inline]
+    fn obs_mem_issue(&mut self, id: ReqId, inst: u32, now: u64) {
+        if let Some(o) = self.obs.as_mut() {
+            o.mem_meta.insert(id, (inst, now));
+        }
+    }
+
     fn issue(&mut self, ctx: &mut TileCtx<'_>) -> Result<(), TileError> {
         let now = ctx.now;
         let mut width_left = self.config.issue_width;
@@ -604,9 +679,15 @@ impl CoreTile {
             if width_left == 0 {
                 break;
             }
-            let (class, mem, accel_args, desc) = {
+            let (class, mem, accel_args, desc, sid) = {
                 let di = self.insts.get(&seq).expect("ready implies in flight");
-                (di.class, di.mem, di.accel_args.clone(), di.desc)
+                (
+                    di.class,
+                    di.mem,
+                    di.accel_args.clone(),
+                    di.desc,
+                    di.static_id.0,
+                )
             };
             let window_exempt = matches!(
                 desc,
@@ -618,6 +699,7 @@ impl CoreTile {
             );
             if seq >= window_limit && !window_exempt {
                 self.stats.window_stalls += 1;
+                self.obs_stall(sid, StallKind::Window, 1);
                 continue; // DeSC-detached ops later in the set may still issue
             }
             // Functional unit availability.
@@ -626,6 +708,7 @@ impl CoreTile {
                 let busy = self.fu_busy.get(&class).copied().unwrap_or(0);
                 if busy >= fu_limit {
                     self.stats.fu_stalls += 1;
+                    self.obs_stall(sid, StallKind::Fu, 1);
                     continue;
                 }
             }
@@ -638,6 +721,7 @@ impl CoreTile {
                     // cost (§VI-A).
                     if class == InstClass::Atomic && self.atomic_outstanding > 0 {
                         self.stats.mem_stalls += 1;
+                        self.obs_stall(sid, StallKind::Mem, 1);
                         continue;
                     }
                     if matches!(
@@ -646,10 +730,12 @@ impl CoreTile {
                     ) {
                         if self.detached_outstanding >= self.config.desc_buffer {
                             self.stats.mem_stalls += 1;
+                            self.obs_stall(sid, StallKind::Mem, 1);
                             continue;
                         }
                     } else if !self.mao.can_issue(seq) {
                         self.stats.mem_stalls += 1;
+                        self.obs_stall(sid, StallKind::Mem, 1);
                         continue;
                     }
                 }
@@ -658,6 +744,7 @@ impl CoreTile {
                     let q = node.queue().expect("send has queue") + self.config.queue_offset;
                     if !ctx.channels.channel_mut(q).has_space() {
                         self.stats.send_stalls += 1;
+                        self.obs_stall(sid, StallKind::Send, 1);
                         continue;
                     }
                 }
@@ -666,6 +753,7 @@ impl CoreTile {
                     let q = node.queue().expect("recv has queue") + self.config.queue_offset;
                     if !ctx.channels.channel_mut(q).can_recv(now) {
                         self.stats.recv_stalls += 1;
+                        self.obs_stall(sid, StallKind::Recv, 1);
                         continue;
                     }
                 }
@@ -707,6 +795,7 @@ impl CoreTile {
                             self.mem_detached
                                 .insert(id, Some(queue + self.config.queue_offset));
                             self.detached_outstanding += 1;
+                            self.obs_mem_issue(id, sid, now);
                             self.complete_inst(seq, now);
                         }
                         Some(DescRole::DetachedStore) => {
@@ -724,6 +813,7 @@ impl CoreTile {
                                 .map_err(|e| self.mem_err(e))?;
                             self.mem_detached.insert(id, None);
                             self.detached_outstanding += 1;
+                            self.obs_mem_issue(id, sid, now);
                             self.complete_inst(seq, now);
                         }
                         _ => {
@@ -744,6 +834,7 @@ impl CoreTile {
                                 )
                                 .map_err(|e| self.mem_err(e))?;
                             self.mem_inflight.insert(id, seq);
+                            self.obs_mem_issue(id, sid, now);
                         }
                     }
                 }
@@ -775,6 +866,13 @@ impl CoreTile {
                     self.stats.energy_pj += result.energy_pj;
                     self.accel_busy_until = Some(now + result.cycles);
                     self.completions.push(Reverse((now + result.cycles, seq)));
+                    if let Some(o) = self.obs.as_mut() {
+                        if o.level.trace_on() {
+                            let tid = self.mem_slot as u32;
+                            o.timeline
+                                .span(0, tid, "accel", "accel invoke", now, now + result.cycles);
+                        }
+                    }
                 }
                 _ => {
                     let lat = self.config.costs.latency(class).max(1);
@@ -869,10 +967,14 @@ impl CoreTile {
         // issuable candidate means work; otherwise each candidate counts
         // exactly one stall, classified by the first rejecting check.
         let mut stalls = SkipStalls::default();
+        // Mirror `issue()`'s per-site attribution only when observability
+        // is on, so fast-forward crediting reproduces it bit-identically.
+        let record = self.obs.is_some();
         let window_limit = self.window_head() + self.config.window_size;
         for &seq in &self.ready {
             let di = self.insts.get(&seq).expect("ready implies in flight");
             let (class, desc) = (di.class, di.desc);
+            let sid = di.static_id.0;
             let window_exempt = matches!(
                 desc,
                 Some(
@@ -883,6 +985,9 @@ impl CoreTile {
             );
             if seq >= window_limit && !window_exempt {
                 stalls.window += 1;
+                if record {
+                    stalls.per_inst.push((sid, StallKind::Window));
+                }
                 continue;
             }
             let fu_limit = self.config.fu.limit(class);
@@ -890,6 +995,9 @@ impl CoreTile {
                 let busy = self.fu_busy.get(&class).copied().unwrap_or(0);
                 if busy >= fu_limit {
                     stalls.fu += 1;
+                    if record {
+                        stalls.per_inst.push((sid, StallKind::Fu));
+                    }
                     continue;
                 }
             }
@@ -897,6 +1005,9 @@ impl CoreTile {
                 InstClass::Load | InstClass::Store | InstClass::Atomic => {
                     if class == InstClass::Atomic && self.atomic_outstanding > 0 {
                         stalls.mem += 1;
+                        if record {
+                            stalls.per_inst.push((sid, StallKind::Mem));
+                        }
                         continue;
                     }
                     if matches!(
@@ -905,11 +1016,17 @@ impl CoreTile {
                     ) {
                         if self.detached_outstanding >= self.config.desc_buffer {
                             stalls.mem += 1;
+                            if record {
+                                stalls.per_inst.push((sid, StallKind::Mem));
+                            }
                             continue;
                         }
                     } else if let Some(kind) = self.mao.probe(seq) {
                         stalls.mem += 1;
                         stalls.mao.push(kind);
+                        if record {
+                            stalls.per_inst.push((sid, StallKind::Mem));
+                        }
                         continue;
                     }
                 }
@@ -918,6 +1035,9 @@ impl CoreTile {
                     let q = node.queue().expect("send has queue") + self.config.queue_offset;
                     if !channels.would_have_space(q) {
                         stalls.send += 1;
+                        if record {
+                            stalls.per_inst.push((sid, StallKind::Send));
+                        }
                         continue;
                     }
                 }
@@ -929,10 +1049,16 @@ impl CoreTile {
                         Some(ready) => {
                             note(&mut wake, ready);
                             stalls.recv += 1;
+                            if record {
+                                stalls.per_inst.push((sid, StallKind::Recv));
+                            }
                             continue;
                         }
                         None => {
                             stalls.recv += 1;
+                            if record {
+                                stalls.per_inst.push((sid, StallKind::Recv));
+                            }
                             continue;
                         }
                     }
@@ -1015,6 +1141,12 @@ impl Tile for CoreTile {
     }
 
     fn on_mem_completion(&mut self, id: ReqId, now: u64) {
+        if let Some(o) = self.obs.as_mut() {
+            if let Some((inst, t0)) = o.mem_meta.remove(&id) {
+                o.profile
+                    .mem_latency((self.func.0, inst), now.saturating_sub(t0));
+            }
+        }
         if let Some(push) = self.mem_detached.remove(&id) {
             self.detached_outstanding -= 1;
             if let Some(queue) = push {
@@ -1033,6 +1165,11 @@ impl Tile for CoreTile {
         }
         let now = ctx.now;
         self.stats.cycles = self.stats.cycles.max(now);
+        let progress_before = if self.obs.is_some() {
+            self.progress_mark()
+        } else {
+            0
+        };
 
         // Clear a finished accelerator invocation.
         if let Some(t) = self.accel_busy_until {
@@ -1078,6 +1215,18 @@ impl Tile for CoreTile {
             self.done = true;
             self.stats.done_at = Some(now);
         }
+        let progressed = self.progress_mark() != progress_before;
+        let tid = self.mem_slot as u32;
+        let finished = self.done;
+        if let Some(o) = self.obs.as_mut() {
+            if o.first_step.is_none() {
+                o.first_step = Some(now);
+            }
+            o.last_seen = o.last_seen.max(now);
+            if o.level.trace_on() && !finished {
+                o.note_cycle(tid, now, !progressed);
+            }
+        }
         Ok(())
     }
 
@@ -1087,6 +1236,46 @@ impl Tile for CoreTile {
 
     fn stats(&self) -> &TileStats {
         &self.stats
+    }
+
+    fn set_observe(&mut self, level: ObsLevel) {
+        self.obs = if level == ObsLevel::Off {
+            None
+        } else {
+            Some(Box::new(TileObs {
+                level,
+                ..TileObs::default()
+            }))
+        };
+    }
+
+    fn take_profile(&mut self) -> IrProfile {
+        match self.obs.as_mut() {
+            Some(o) => std::mem::take(&mut o.profile),
+            None => IrProfile::new(),
+        }
+    }
+
+    fn take_timeline(&mut self, slot: usize) -> Timeline {
+        let tid = self.mem_slot as u32;
+        let done_at = self.stats.done_at;
+        let Some(o) = self.obs.as_mut() else {
+            return Timeline::new();
+        };
+        if !o.level.trace_on() {
+            return Timeline::new();
+        }
+        let end = done_at.unwrap_or(o.last_seen).max(o.last_seen) + 1;
+        if let Some((stalled, start)) = o.interval.take() {
+            o.push_interval(tid, stalled, start, end);
+        }
+        let start = o.first_step.unwrap_or(0);
+        o.timeline
+            .span(0, tid, "tile", format!("{} active", self.config.name), start, end);
+        o.timeline.process_name(0, "tiles");
+        o.timeline
+            .thread_name(0, tid, format!("tile.{slot} {}", self.config.name));
+        std::mem::take(&mut o.timeline)
     }
 
     fn next_event(&self, now: u64, channels: &ChannelSet) -> Horizon {
@@ -1135,6 +1324,20 @@ impl Tile for CoreTile {
         self.stats.recv_stalls += stalls.recv * aligned_cycles;
         for kind in stalls.mao {
             self.mao.credit_stalls(kind, aligned_cycles);
+        }
+        if let Some(o) = self.obs.as_mut() {
+            // Credit the one-cycle per-instruction survey once per skipped
+            // cycle — exactly what naive stepping would have recorded.
+            for &(inst, kind) in &stalls.per_inst {
+                o.profile.stall((self.func.0, inst), kind, aligned_cycles);
+            }
+            if o.level.trace_on() {
+                // The skipped region is all stall: close any open compute
+                // interval at `now` so it does not absorb the skip.
+                let tid = self.mem_slot as u32;
+                o.note_cycle(tid, now, true);
+                o.last_seen = o.last_seen.max(now + aligned_cycles - 1);
+            }
         }
     }
 

@@ -32,6 +32,7 @@ pub use mao::{Mao, MaoStall};
 
 use mosaic_ir::AccelOp;
 use mosaic_mem::{MemError, MemoryHierarchy, ReqId};
+use mosaic_obs::{IrProfile, ObsLevel, StatsRegistry, Timeline};
 
 /// Errors a tile step can surface for malformed inputs: trace/kernel
 /// mismatches, missing accelerator models, or rejected memory requests.
@@ -300,6 +301,31 @@ impl TileStats {
             _ => 0.0,
         }
     }
+
+    /// Registers every field into `reg` under `tile.<slot>.*` paths
+    /// (`tile.3.stall.mem`, `tile.0.retired`, …). `TileStats` remains
+    /// the hot-path accumulator; the registry is a read-time view of
+    /// it, so registration costs nothing during simulation.
+    pub fn register_into(&self, reg: &mut StatsRegistry, slot: usize) {
+        let p = |field: &str| format!("tile.{slot}.{field}");
+        reg.set_counter(&p("retired"), self.retired);
+        reg.set_counter(&p("issued"), self.issued);
+        reg.set_counter(&p("cycles"), self.cycles);
+        if let Some(done) = self.done_at {
+            reg.set_counter(&p("done_at"), done);
+        }
+        reg.set_counter(&p("dbbs_launched"), self.dbbs_launched);
+        reg.set_counter(&p("mispredicts"), self.mispredicts);
+        reg.set_counter(&p("stall.window"), self.window_stalls);
+        reg.set_counter(&p("stall.fu"), self.fu_stalls);
+        reg.set_counter(&p("stall.mem"), self.mem_stalls);
+        reg.set_counter(&p("stall.send"), self.send_stalls);
+        reg.set_counter(&p("stall.recv"), self.recv_stalls);
+        reg.set_counter(&p("accel.invocations"), self.accel_invocations);
+        reg.set_counter(&p("accel.cycles"), self.accel_cycles);
+        reg.set_gauge(&p("energy_pj"), self.energy_pj);
+        reg.set_gauge(&p("ipc"), self.ipc());
+    }
 }
 
 /// A tile's report of when it can next make architectural progress,
@@ -405,6 +431,25 @@ pub trait Tile {
             retired: self.stats().retired,
             mem_in_flight: 0,
         }
+    }
+
+    /// Sets the observability level before the run starts. Tiles that
+    /// do not record anything may ignore it (the default).
+    fn set_observe(&mut self, level: ObsLevel) {
+        let _ = level;
+    }
+
+    /// Takes the tile's recorded timeline spans, keyed to tile slot
+    /// `slot` (pid 0 tracks). Default: empty (nothing recorded).
+    fn take_timeline(&mut self, slot: usize) -> Timeline {
+        let _ = slot;
+        Timeline::new()
+    }
+
+    /// Takes the tile's IR-level profile (per-static-instruction
+    /// retire/stall/latency attribution). Default: empty.
+    fn take_profile(&mut self) -> IrProfile {
+        IrProfile::new()
     }
 }
 

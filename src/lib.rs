@@ -17,6 +17,7 @@
 //! | [`tile`] | `mosaic-tile` | Graph-based core/accelerator tile models, MAO, channels — §III |
 //! | [`accel`] | `mosaic-accel` | Analytic + cycle-level accelerator models — §IV |
 //! | [`core`] | `mosaic-core` | Interleaver, system builder, energy/EDP, runner — §II |
+//! | [`obs`] | `mosaic-obs` | Stats registry, cycle timelines, IR-level hotspot profiling |
 //! | [`passes`] | `mosaic-passes` | DAE slicing (DeSC), DCE — §VII-A |
 //! | [`lint`] | `mosaic-lint` | Static channel-protocol, race, and liveness analysis over the IR |
 //! | [`kernels`] | `mosaic-kernels` | Parboil-style suite + case-study workloads — §VI/§VII |
@@ -59,6 +60,7 @@ pub use mosaic_ir as ir;
 pub use mosaic_kernels as kernels;
 pub use mosaic_lint as lint;
 pub use mosaic_mem as mem;
+pub use mosaic_obs as obs;
 pub use mosaic_passes as passes;
 pub use mosaic_tile as tile;
 pub use mosaic_trace as trace;
@@ -77,6 +79,7 @@ pub mod prelude {
     };
     pub use mosaic_kernels::Prepared;
     pub use mosaic_mem::{CacheConfig, DramKind, HierarchyConfig, PrefetchConfig};
+    pub use mosaic_obs::{IrProfile, ObsLevel, StatsRegistry, Timeline};
     pub use mosaic_passes::{slice_dae, DaeQueues};
     pub use mosaic_tile::{BranchMode, ChannelConfig, CoreConfig};
     pub use mosaic_trace::{KernelTrace, TraceRecorder};
