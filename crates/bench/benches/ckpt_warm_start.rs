@@ -1,0 +1,132 @@
+//! Warm-start sweep forking speedup guard (DESIGN.md §4.6).
+//!
+//! A sweep whose rows share a configuration prefix can simulate that
+//! prefix once, checkpoint it, and fork every row from the snapshot
+//! instead of re-simulating from cycle 0. Because checkpoint resume is
+//! bit-identical to straight-through simulation, the forked rows produce
+//! exactly the reports a cold sweep would — this bench measures how much
+//! faster, and enforces the contract that forking pays for itself:
+//! warm-start must be at least 1.5x faster wall-clock than the cold
+//! sweep on a shared-prefix workload.
+//!
+//! The workload forks late (90% of the run is shared prefix) and uses
+//! more rows than worker threads, so the prefix dominates the cold
+//! sweep's wall time the way a real design-space sweep's common warm-up
+//! phase would.
+//!
+//! A plain `main` harness (no external bench framework); run with
+//! `cargo bench -p mosaic-bench --bench ckpt_warm_start`. Writes
+//! machine-readable results to `BENCH_ckpt.json` in the workspace root.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mosaic_bench::{run_sweep, run_sweep_warm, warm_start};
+use mosaic_core::{small_memory, SystemBuilder};
+use mosaic_kernels::build_parboil;
+use mosaic_tile::CoreConfig;
+
+/// The contract: forking from the shared-prefix snapshot must beat
+/// re-simulating the prefix per row by at least this factor.
+const MIN_SPEEDUP: f64 = 1.5;
+
+/// Fraction of the straight-through run shared by all rows.
+const PREFIX_FRACTION: f64 = 0.9;
+
+fn main() {
+    let kernel = "sgemm";
+    let p = build_parboil(kernel, 1);
+    let (trace, _) = p.trace(1).expect("trace");
+    let module = Arc::new(p.module.clone());
+    let trace = Arc::new(trace);
+
+    let make = || {
+        SystemBuilder::new(module.clone(), trace.clone())
+            .memory(small_memory())
+            .core(CoreConfig::out_of_order().with_name(kernel), p.func, 0)
+    };
+
+    // Calibrate the fork point from one straight run (also a warm-up for
+    // the timed sweeps below).
+    let straight = make().run().expect("straight run");
+    let fork_cycle = (straight.cycles as f64 * PREFIX_FRACTION) as u64;
+
+    // More rows than workers, so the cold sweep pays the prefix in every
+    // batch; each row is the same system with a different fast-forward
+    // setting (a run-control knob resume allows to vary across rows).
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let points: Vec<bool> = (0..4 * threads).map(|i| i % 2 == 0).collect();
+    println!(
+        "{kernel}: {} cycles straight-through, forking at cycle {fork_cycle} \
+         ({} rows on {threads} threads)",
+        straight.cycles,
+        points.len()
+    );
+
+    let cold = run_sweep(&points, |&ff| {
+        (format!("cold/ff={ff}"), make().fast_forward(ff).run())
+    });
+
+    let t0 = Instant::now();
+    let warm = warm_start(make(), fork_cycle).expect("warm start");
+    let warm_sweep = run_sweep_warm(&points, &warm, |&ff, ckpt| {
+        (
+            format!("warm/ff={ff}"),
+            make()
+                .fast_forward(ff)
+                .resume_from_checkpoint(ckpt.clone())
+                .run(),
+        )
+    });
+    let warm_total = t0.elapsed().as_secs_f64();
+
+    // The speedup is only meaningful if the forked rows reproduced the
+    // cold rows exactly.
+    for (w, c) in warm_sweep.points.iter().zip(&cold.points) {
+        assert_eq!(w.report().cycles, c.report().cycles, "{}", w.label);
+        assert_eq!(w.report().total_retired, c.report().total_retired, "{}", w.label);
+    }
+
+    let speedup = cold.wall_secs / warm_total;
+    println!(
+        "cold sweep: {:.2}s   warm-start: {:.2}s (prefix {:.2}s + {} forked rows)   speedup {speedup:.2}x",
+        cold.wall_secs,
+        warm_total,
+        warm.prefix_secs,
+        warm_sweep.points.len()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"ckpt_warm_start\",\n  \"contract_min_speedup\": {MIN_SPEEDUP},\n  \
+         \"kernel\": \"{kernel}\",\n  \"straight_cycles\": {},\n  \"fork_cycle\": {fork_cycle},\n  \
+         \"rows\": {},\n  \"threads\": {},\n  \"cold_wall_secs\": {:.6},\n  \
+         \"warm_prefix_secs\": {:.6},\n  \"warm_total_secs\": {:.6},\n  \
+         \"speedup\": {:.3}\n}}\n",
+        straight.cycles,
+        points.len(),
+        cold.threads,
+        cold.wall_secs,
+        warm.prefix_secs,
+        warm_total,
+        speedup,
+    );
+
+    // Walk up from the bench's CWD (crate dir under `cargo bench`) to the
+    // workspace root, identified by the `crates` subdirectory.
+    let mut dir = std::env::current_dir().expect("cwd");
+    while !dir.join("crates").is_dir() {
+        assert!(dir.pop(), "workspace root not found");
+    }
+    let out = dir.join("BENCH_ckpt.json");
+    std::fs::write(&out, json).expect("write BENCH_ckpt.json");
+    println!("wrote {}", out.display());
+
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "warm-start forking is only {speedup:.2}x faster than the cold sweep \
+         (contract: >= {MIN_SPEEDUP}x)"
+    );
+    println!("warm-start speedup within the {MIN_SPEEDUP}x contract");
+}

@@ -18,7 +18,7 @@
 //! | `fig13_combined` | Fig. 13 combined sparse+dense workloads |
 //! | `fig14_keras_edp` | Fig. 14 Keras EDP improvements |
 //! | `storage_report` | §VI-B trace storage requirements |
-//! | `ablations` | Design-choice ablations (DESIGN.md §4.8) |
+//! | `ablations` | Design-choice ablations (DESIGN.md §4.9) |
 //!
 //! This library crate holds the shared harness utilities.
 
@@ -347,6 +347,75 @@ where
     }
 }
 
+/// The shared-prefix snapshot a warm-start sweep forks from.
+///
+/// Produced by [`warm_start`]; holds the checkpoint (shared by reference
+/// across all worker threads) and the wall-clock cost of the one prefix
+/// simulation, so [`run_sweep_warm`] can account for it in the sweep
+/// total.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Complete simulator state at the fork cycle.
+    pub checkpoint: Arc<mosaic_ckpt::Checkpoint>,
+    /// Cycle the prefix was paused at (the fork point).
+    pub cycle: u64,
+    /// Wall-clock seconds the prefix simulation took (paid once).
+    pub prefix_secs: f64,
+}
+
+/// Simulates the shared configuration prefix once and snapshots it.
+///
+/// Builds `builder`, runs it to `prefix_cycles`, and captures a
+/// checkpoint for [`run_sweep_warm`] to fork every sweep row from. The
+/// rows must rebuild the *same* system (tile names and memory geometry
+/// are verified on resume); run-control knobs — fast-forwarding,
+/// observability level, cycle limit — may differ per row.
+///
+/// # Errors
+///
+/// Returns the build or simulation error of the prefix run, or an
+/// invalid-config error when the system finishes before `prefix_cycles`
+/// (a fork point after the end of the run cannot seed a sweep).
+pub fn warm_start(builder: SystemBuilder, prefix_cycles: u64) -> Result<WarmStart, MosaicError> {
+    let start = Instant::now();
+    let mut il = builder.build()?;
+    if let Some(done) = il.run_until(prefix_cycles)? {
+        return Err(MosaicError::invalid_config(
+            "warm_start.prefix_cycles",
+            format!("simulation finished at cycle {done}, before the fork point {prefix_cycles}"),
+        ));
+    }
+    let ckpt = il.save_checkpoint();
+    Ok(WarmStart {
+        cycle: ckpt.cycle(),
+        checkpoint: Arc::new(ckpt),
+        prefix_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// [`run_sweep`], but every point forks from a [`warm_start`] snapshot
+/// instead of simulating the shared prefix again.
+///
+/// `job` receives the point and the shared checkpoint; it should rebuild
+/// the system and hand the checkpoint to
+/// [`SystemBuilder::resume_from_checkpoint`]. Because resume is
+/// bit-identical to straight-through simulation, the reports are the
+/// ones a cold sweep would have produced — only faster, since the prefix
+/// is simulated once instead of once per row.
+///
+/// The returned [`Sweep::wall_secs`] includes the prefix cost, so
+/// throughput aggregates stay comparable with a cold [`run_sweep`].
+pub fn run_sweep_warm<T, R, F>(points: &[T], warm: &WarmStart, job: F) -> Sweep
+where
+    T: Sync,
+    R: IntoSweepResult,
+    F: Fn(&T, &Arc<mosaic_ckpt::Checkpoint>) -> (String, R) + Sync,
+{
+    let mut sweep = run_sweep(points, |point| job(point, &warm.checkpoint));
+    sweep.wall_secs += warm.prefix_secs;
+    sweep
+}
+
 /// Geometric mean of a set of positive factors.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -474,6 +543,43 @@ mod tests {
         }
         assert_eq!(sweep.failed().count(), 1);
         assert!(sweep.summary().contains("1 FAILED"), "{}", sweep.summary());
+    }
+
+    /// Warm-start forking is an optimization, not a semantics change:
+    /// every forked row's report must be bit-identical to a cold
+    /// straight-through run of the same configuration.
+    #[test]
+    fn warm_sweep_rows_match_cold_runs() {
+        let p = mosaic_kernels::build_parboil("sgemm", 1);
+        let (trace, _) = p.trace(1).expect("trace");
+        let module = Arc::new(p.module.clone());
+        let trace = Arc::new(trace);
+        let make = || {
+            SystemBuilder::new(module.clone(), trace.clone())
+                .memory(mosaic_core::small_memory())
+                .core(CoreConfig::out_of_order().with_name("warm"), p.func, 0)
+        };
+        let warm = warm_start(make(), 2_000).expect("warm start");
+        assert_eq!(warm.checkpoint.cycle(), 2_000);
+        // Rows vary a run-control knob (fast-forwarding) that resume
+        // explicitly allows to differ from the prefix run.
+        let points = [true, false, true];
+        let sweep = run_sweep_warm(&points, &warm, |&ff, ckpt| {
+            (
+                format!("ff={ff}"),
+                make()
+                    .fast_forward(ff)
+                    .resume_from_checkpoint(ckpt.clone())
+                    .run(),
+            )
+        });
+        assert_eq!(sweep.points.len(), points.len());
+        for (point, &ff) in sweep.points.iter().zip(&points) {
+            let cold = make().fast_forward(ff).run().expect("cold run");
+            assert_eq!(point.report().cycles, cold.cycles, "{}", point.label);
+            assert_eq!(point.report().total_retired, cold.total_retired, "{}", point.label);
+        }
+        assert!(sweep.wall_secs >= warm.prefix_secs);
     }
 
     /// Even a panic inside the job is confined to its point's row.

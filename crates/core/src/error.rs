@@ -35,6 +35,16 @@ pub enum MosaicError {
     /// The pre-simulation lint gate found problems and the builder's
     /// lint level is [`mosaic_lint::LintLevel::Deny`].
     Lint(mosaic_lint::LintReport),
+    /// A checkpoint could not be saved, loaded, or applied (I/O failure,
+    /// corrupt file, or a system whose configuration does not match the
+    /// one the checkpoint was taken from). Carries the rendered
+    /// [`mosaic_ckpt::CkptError`] — the source error holds an
+    /// `std::io::Error` and therefore cannot live in this `Clone + Eq`
+    /// taxonomy directly.
+    Ckpt {
+        /// What went wrong, including the path and section involved.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for MosaicError {
@@ -47,6 +57,7 @@ impl std::fmt::Display for MosaicError {
             MosaicError::Sim(e) => write!(f, "simulation failed: {e}"),
             MosaicError::Panic { context } => write!(f, "simulation panicked: {context}"),
             MosaicError::Lint(report) => write!(f, "lint gate failed:\n{report}"),
+            MosaicError::Ckpt { message } => write!(f, "checkpoint failed: {message}"),
         }
     }
 }
@@ -70,6 +81,14 @@ impl From<ExecError> for MosaicError {
 impl From<SimError> for MosaicError {
     fn from(e: SimError) -> Self {
         MosaicError::Sim(e)
+    }
+}
+
+impl From<mosaic_ckpt::CkptError> for MosaicError {
+    fn from(e: mosaic_ckpt::CkptError) -> Self {
+        MosaicError::Ckpt {
+            message: e.to_string(),
+        }
     }
 }
 

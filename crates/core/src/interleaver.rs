@@ -104,6 +104,13 @@ pub enum SimError {
         /// What it tripped over.
         source: TileError,
     },
+    /// A periodic checkpoint could not be written. Carries the rendered
+    /// [`mosaic_ckpt::CkptError`] (the source holds an `std::io::Error`
+    /// and cannot live in this `Clone + Eq` taxonomy directly).
+    Checkpoint {
+        /// What went wrong, including the destination path.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -117,6 +124,9 @@ impl std::fmt::Display for SimError {
                 write!(f, "deadlock: {snapshot}")
             }
             SimError::Tile { source, .. } => write!(f, "{source}"),
+            SimError::Checkpoint { message } => {
+                write!(f, "checkpoint write failed: {message}")
+            }
         }
     }
 }
@@ -166,6 +176,17 @@ pub struct Interleaver {
     watchdog_window: u64,
     /// Quiet steps seen since the last progress or watchdog survey.
     quiet_streak: u64,
+    /// Whether the previous loop iteration took a fast-forward jump.
+    /// Loop-carried (not local to `run`) so a paused run resumes with
+    /// exactly the survey cadence a straight-through run would have had.
+    just_skipped: bool,
+    /// Write a checkpoint roughly every this many cycles (at the first
+    /// stepped cycle at or past each boundary). `None` disables.
+    ckpt_every: Option<u64>,
+    /// Destination for periodic checkpoints.
+    ckpt_path: Option<std::path::PathBuf>,
+    /// Next checkpoint boundary.
+    next_ckpt: u64,
 }
 
 /// Smallest multiple of `d` that is `>= x`.
@@ -209,6 +230,10 @@ impl Interleaver {
             last_progress_at: None,
             watchdog_window: 10_000,
             quiet_streak: 0,
+            just_skipped: false,
+            ckpt_every: None,
+            ckpt_path: None,
+            next_ckpt: u64::MAX,
         }
     }
 
@@ -496,8 +521,45 @@ impl Interleaver {
     /// [`SimError::CycleLimit`] when the cap is hit while still live, and
     /// [`SimError::Tile`] when a tile rejects its input.
     pub fn run(&mut self) -> Result<u64, SimError> {
-        let mut just_skipped = false;
-        while !self.step()? {
+        match self.run_inner(None)? {
+            Some(cycles) => Ok(cycles),
+            None => unreachable!("run_inner pauses only when given a target cycle"),
+        }
+    }
+
+    /// Runs until every tile drains *or* the global clock reaches
+    /// `cycle`, whichever comes first. Returns `Some(completion cycle)`
+    /// when the system finished, `None` when it paused at (or, under
+    /// fast-forwarding, at the first stepped cycle past) the target.
+    ///
+    /// A paused interleaver is in exactly the state a straight-through
+    /// run has at that point of its loop: calling [`Self::run`] (or
+    /// `run_until` again) continues bit-identically, and
+    /// [`Self::save_checkpoint`] captures the pause point so a fresh
+    /// system can continue from it instead.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_until(&mut self, cycle: u64) -> Result<Option<u64>, SimError> {
+        self.run_inner(Some(cycle))
+    }
+
+    fn run_inner(&mut self, until: Option<u64>) -> Result<Option<u64>, SimError> {
+        loop {
+            // Pause/checkpoint points sit at the top of the loop, before
+            // the step at `now` executes: the captured state is the state
+            // a straight-through run has at this exact point, which is
+            // what makes resume-from-cycle-N bit-identical.
+            if let Some(target) = until {
+                if self.now >= target && self.finished < self.tiles.len() {
+                    return Ok(None);
+                }
+            }
+            self.maybe_checkpoint()?;
+            if self.step()? {
+                break;
+            }
             if self.now >= self.cycle_limit {
                 return Err(self.cycle_limit_error());
             }
@@ -507,15 +569,15 @@ impl Interleaver {
             // (saving the one quiet step per span the first rule costs).
             // In busy phases the next step is productive anyway, so
             // surveying every cycle would be pure overhead.
-            if self.fast_forward && (self.quiet || just_skipped) {
+            if self.fast_forward && (self.quiet || self.just_skipped) {
                 let before = self.now;
                 self.skip_to_horizon()?;
-                just_skipped = self.now != before;
+                self.just_skipped = self.now != before;
                 if self.now >= self.cycle_limit {
                     return Err(self.cycle_limit_error());
                 }
             } else {
-                just_skipped = false;
+                self.just_skipped = false;
                 // Naive-path watchdog: after a window of steps with no
                 // observable work, survey for a deadlock. The verdict is
                 // window-independent (see `set_watchdog_window`).
@@ -533,12 +595,143 @@ impl Interleaver {
             }
         }
         // The completion cycle is the latest tile finish time.
-        Ok(self
-            .tiles
-            .iter()
-            .filter_map(|t| t.stats().done_at)
-            .max()
-            .unwrap_or(self.now))
+        Ok(Some(
+            self.tiles
+                .iter()
+                .filter_map(|t| t.stats().done_at)
+                .max()
+                .unwrap_or(self.now),
+        ))
+    }
+
+    /// Enables periodic checkpointing: a snapshot is written to `path` at
+    /// the first stepped cycle at or past every multiple of `every`
+    /// (fast-forward jumps can land past a boundary; the write then
+    /// happens at the landing cycle). The file is overwritten each time,
+    /// so it always holds the most recent snapshot.
+    pub fn set_checkpoint_policy(&mut self, every: u64, path: impl Into<std::path::PathBuf>) {
+        let every = every.max(1);
+        self.ckpt_every = Some(every);
+        self.ckpt_path = Some(path.into());
+        self.next_ckpt = self.now.div_ceil(every).max(1) * every;
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<(), SimError> {
+        let Some(every) = self.ckpt_every else {
+            return Ok(());
+        };
+        if self.now < self.next_ckpt {
+            return Ok(());
+        }
+        while self.next_ckpt <= self.now {
+            self.next_ckpt += every;
+        }
+        if let Some(path) = self.ckpt_path.clone() {
+            self.save_checkpoint()
+                .save(&path)
+                .map_err(|e| SimError::Checkpoint {
+                    message: e.to_string(),
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Snapshots the complete simulator state — every tile's
+    /// architectural and microarchitectural state, channel queues with
+    /// in-flight messages, the full memory hierarchy, and the scheduler's
+    /// own loop-carried state — into a versioned [`mosaic_ckpt::Checkpoint`]
+    /// container. The configuration is *not* captured: a resume rebuilds
+    /// the system from the same configuration and overwrites only
+    /// dynamic state (the tile-name fingerprint guards against resuming
+    /// into a different topology).
+    pub fn save_checkpoint(&self) -> mosaic_ckpt::Checkpoint {
+        let fingerprint: Vec<String> =
+            self.tiles.iter().map(|t| t.name().to_string()).collect();
+        let mut ckpt = mosaic_ckpt::Checkpoint::new(self.now, fingerprint);
+        let mut e = mosaic_ckpt::Enc::new();
+        e.u64(self.now);
+        e.bool(self.quiet);
+        e.bool(self.just_skipped);
+        e.u64(self.steps_executed);
+        e.u64(self.cycles_skipped);
+        e.u64(self.skips_taken);
+        e.opt_u64(self.last_progress_at);
+        e.u64(self.quiet_streak);
+        ckpt.add_section("interleaver", e);
+        let mut e = mosaic_ckpt::Enc::new();
+        self.channels.encode_into(&mut e);
+        ckpt.add_section("channels", e);
+        let mut e = mosaic_ckpt::Enc::new();
+        self.mem.save_state(&mut e);
+        ckpt.add_section("mem", e);
+        for (i, tile) in self.tiles.iter().enumerate() {
+            let mut e = mosaic_ckpt::Enc::new();
+            tile.save_state(&mut e);
+            ckpt.add_section(&format!("tile.{i}"), e);
+        }
+        ckpt
+    }
+
+    /// Restores the state captured by [`Self::save_checkpoint`] into this
+    /// interleaver, which must have been built from the same
+    /// configuration (same tiles in the same order, same memory
+    /// hierarchy, same kernel trace). Set the observability level
+    /// *before* restoring so recorded profiles and timelines carry over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mosaic_ckpt::CkptError::Mismatch`] when the tile-name
+    /// fingerprint or a component's rebuilt configuration disagrees with
+    /// the checkpoint, and `Truncated`/`Corrupt` for damaged payloads.
+    pub fn restore_checkpoint(
+        &mut self,
+        ckpt: &mosaic_ckpt::Checkpoint,
+    ) -> Result<(), mosaic_ckpt::CkptError> {
+        let names: Vec<String> = self.tiles.iter().map(|t| t.name().to_string()).collect();
+        if ckpt.fingerprint() != names.as_slice() {
+            return Err(mosaic_ckpt::CkptError::mismatch(format!(
+                "checkpoint was taken from tiles {:?}, this system has {:?}",
+                ckpt.fingerprint(),
+                names
+            )));
+        }
+        let mut d = mosaic_ckpt::Dec::new(ckpt.require_section("interleaver")?);
+        self.now = d.u64("interleaver now")?;
+        if self.now != ckpt.cycle() {
+            return Err(mosaic_ckpt::CkptError::corrupt(format!(
+                "interleaver section cycle {} disagrees with header cycle {}",
+                self.now,
+                ckpt.cycle()
+            )));
+        }
+        self.quiet = d.bool("interleaver quiet")?;
+        self.just_skipped = d.bool("interleaver just_skipped")?;
+        self.steps_executed = d.u64("interleaver steps_executed")?;
+        self.cycles_skipped = d.u64("interleaver cycles_skipped")?;
+        self.skips_taken = d.u64("interleaver skips_taken")?;
+        self.last_progress_at = d.opt_u64("interleaver last_progress_at")?;
+        self.quiet_streak = d.u64("interleaver quiet_streak")?;
+        let mut d = mosaic_ckpt::Dec::new(ckpt.require_section("channels")?);
+        self.channels.restore_from(&mut d)?;
+        let mut d = mosaic_ckpt::Dec::new(ckpt.require_section("mem")?);
+        self.mem.restore_state(&mut d)?;
+        for (i, tile) in self.tiles.iter_mut().enumerate() {
+            let name = format!("tile.{i}");
+            let mut d = mosaic_ckpt::Dec::new(ckpt.require_section(&name)?);
+            tile.restore_state(&mut d)?;
+            if !d.is_exhausted() {
+                return Err(mosaic_ckpt::CkptError::corrupt(format!(
+                    "section {name} has {} bytes of trailing data",
+                    d.remaining()
+                )));
+            }
+        }
+        self.finished = self.tiles.iter().filter(|t| t.is_done()).count();
+        // Re-anchor the periodic-checkpoint boundary to the resumed clock.
+        if let Some(every) = self.ckpt_every {
+            self.next_ckpt = self.now.div_ceil(every).max(1) * every;
+        }
+        Ok(())
     }
 
     /// Consumes the interleaver, returning its parts for post-run

@@ -123,6 +123,16 @@ struct TileSpec {
     trace_tile: usize,
 }
 
+/// Where a resumed run gets its snapshot from.
+enum ResumeSource {
+    /// A checkpoint file written by [`Interleaver::save_checkpoint`] (via
+    /// [`mosaic_ckpt::Checkpoint::save`]) or the periodic policy.
+    Path(std::path::PathBuf),
+    /// An in-memory snapshot, shared between sweep rows forking off one
+    /// warmed prefix (see `mosaic-bench`'s `run_sweep_warm`).
+    InMemory(Arc<mosaic_ckpt::Checkpoint>),
+}
+
 /// Builder for a tiled system (paper Fig. 2's tile map).
 ///
 /// # Examples
@@ -158,6 +168,9 @@ pub struct SystemBuilder {
     watchdog_window: Option<u64>,
     lint: LintLevel,
     observe: ObsLevel,
+    checkpoint_every: Option<u64>,
+    checkpoint_path: Option<std::path::PathBuf>,
+    resume: Option<ResumeSource>,
 }
 
 impl fmt::Debug for SystemBuilder {
@@ -184,7 +197,48 @@ impl SystemBuilder {
             watchdog_window: None,
             lint: LintLevel::default(),
             observe: ObsLevel::Off,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            resume: None,
         }
+    }
+
+    /// Writes a checkpoint roughly every `cycles` cycles (at the first
+    /// stepped cycle at or past each boundary — fast-forward jumps can
+    /// land past one). Requires a destination set with
+    /// [`Self::checkpoint_to`]; the file is overwritten each time so it
+    /// always holds the most recent snapshot.
+    pub fn checkpoint_every(mut self, cycles: u64) -> Self {
+        self.checkpoint_every = Some(cycles);
+        self
+    }
+
+    /// Sets where periodic checkpoints (see [`Self::checkpoint_every`])
+    /// are written.
+    pub fn checkpoint_to(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Resumes from a checkpoint file instead of starting at cycle 0. The
+    /// builder must describe the *same* system the checkpoint was taken
+    /// from — same tiles in the same order, same memory hierarchy, same
+    /// kernel trace; static state is rebuilt from this configuration and
+    /// only dynamic state is loaded. Parameters that do not feed the
+    /// snapshot (cycle limit, fast-forward mode, observability level,
+    /// lint level) may differ freely.
+    pub fn resume_from(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.resume = Some(ResumeSource::Path(path.into()));
+        self
+    }
+
+    /// Resumes from an in-memory snapshot taken with
+    /// [`Interleaver::save_checkpoint`]. The `Arc` makes forking cheap:
+    /// many sweep rows can share one warmed prefix without re-reading or
+    /// copying it. Same compatibility contract as [`Self::resume_from`].
+    pub fn resume_from_checkpoint(mut self, ckpt: Arc<mosaic_ckpt::Checkpoint>) -> Self {
+        self.resume = Some(ResumeSource::InMemory(ckpt));
+        self
     }
 
     /// Sets the observability level (default [`ObsLevel::Off`]).
@@ -323,6 +377,22 @@ impl SystemBuilder {
                 ));
             }
         }
+        if let Some(every) = self.checkpoint_every {
+            if every == 0 {
+                return Err(MosaicError::invalid_config(
+                    "checkpoint.every",
+                    "a checkpoint interval of 0 cycles would snapshot at \
+                     every step; pick a positive interval",
+                ));
+            }
+            if self.checkpoint_path.is_none() {
+                return Err(MosaicError::invalid_config(
+                    "checkpoint.path",
+                    "checkpoint_every needs a destination; set one with \
+                     checkpoint_to(path)",
+                ));
+            }
+        }
         check_cache("memory.l1", &self.memory.l1)?;
         if let Some(l2) = &self.memory.l2 {
             check_cache("memory.l2", l2)?;
@@ -411,6 +481,23 @@ impl SystemBuilder {
         il.set_observe(self.observe);
         if let Some(w) = self.watchdog_window {
             il.set_watchdog_window(w);
+        }
+        // Restore after set_observe so recorded profiles/timelines carry
+        // over, and before the checkpoint policy so the next boundary is
+        // anchored to the resumed clock.
+        if let Some(source) = self.resume {
+            let loaded;
+            let ckpt: &mosaic_ckpt::Checkpoint = match &source {
+                ResumeSource::Path(path) => {
+                    loaded = mosaic_ckpt::Checkpoint::load(path)?;
+                    &loaded
+                }
+                ResumeSource::InMemory(c) => c,
+            };
+            il.restore_checkpoint(ckpt)?;
+        }
+        if let (Some(every), Some(path)) = (self.checkpoint_every, self.checkpoint_path) {
+            il.set_checkpoint_policy(every, path);
         }
         Ok(il)
     }

@@ -236,6 +236,97 @@ impl BankedDram {
     }
 }
 
+impl BankedDram {
+    /// Serializes bank queues in bank order and in-flight transfers in
+    /// insertion order (retire order depends on it), plus counters.
+    pub(crate) fn encode_into(&self, e: &mut mosaic_ckpt::Enc) {
+        e.u32(self.banks.len() as u32);
+        for bank in &self.banks {
+            match bank.open_row {
+                Some(r) => {
+                    e.u8(1);
+                    e.u64(r);
+                }
+                None => e.u8(0),
+            }
+            e.u64(bank.busy_until);
+            e.u32(bank.queue.len() as u32);
+            for req in &bank.queue {
+                e.u64(req.id.0);
+                e.u64(req.row);
+                e.u64(req.arrival);
+            }
+        }
+        e.u32(self.channel_bus_free.len() as u32);
+        for &t in &self.channel_bus_free {
+            e.u64(t);
+        }
+        e.u32(self.in_flight.len() as u32);
+        for &(ready, id) in &self.in_flight {
+            e.u64(ready);
+            e.u64(id.0);
+        }
+        e.u64(self.row_hits);
+        e.u64(self.row_misses);
+        e.u64(self.row_conflicts);
+        e.u64(self.total_requests);
+    }
+
+    pub(crate) fn restore_from(
+        &mut self,
+        d: &mut mosaic_ckpt::Dec<'_>,
+    ) -> Result<(), mosaic_ckpt::CkptError> {
+        let nbanks = d.u32("banked dram bank count")? as usize;
+        if nbanks != self.banks.len() {
+            return Err(mosaic_ckpt::CkptError::mismatch(format!(
+                "banked DRAM: checkpoint has {nbanks} banks, configuration has {}",
+                self.banks.len()
+            )));
+        }
+        for bank in &mut self.banks {
+            bank.open_row = match d.u8("bank open-row flag")? {
+                0 => None,
+                1 => Some(d.u64("bank open row")?),
+                v => {
+                    return Err(mosaic_ckpt::CkptError::corrupt(format!(
+                        "bank open-row flag {v}"
+                    )))
+                }
+            };
+            bank.busy_until = d.u64("bank busy_until")?;
+            bank.queue.clear();
+            for _ in 0..d.u32("bank queue length")? {
+                let id = ReqId(d.u64("bank req id")?);
+                let row = d.u64("bank req row")?;
+                let arrival = d.u64("bank req arrival")?;
+                bank.queue.push_back(BankReq { id, row, arrival });
+            }
+        }
+        let nchan = d.u32("banked dram channel count")? as usize;
+        if nchan != self.channel_bus_free.len() {
+            return Err(mosaic_ckpt::CkptError::mismatch(format!(
+                "banked DRAM: checkpoint has {nchan} channels, configuration has {}",
+                self.channel_bus_free.len()
+            )));
+        }
+        for t in &mut self.channel_bus_free {
+            *t = d.u64("channel bus free")?;
+        }
+        self.in_flight.clear();
+        for _ in 0..d.u32("banked dram in-flight count")? {
+            let ready = d.u64("in-flight ready")?;
+            let id = ReqId(d.u64("in-flight id")?);
+            self.in_flight.push((ready, id));
+        }
+        self.row_hits = d.u64("dram row_hits")?;
+        self.row_misses = d.u64("dram row_misses")?;
+        self.row_conflicts = d.u64("dram row_conflicts")?;
+        self.total_requests = d.u64("dram total_requests")?;
+        Ok(())
+    }
+}
+
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -283,6 +283,58 @@ impl Cache {
     }
 }
 
+impl Cache {
+    /// Serializes tag-array contents and counters. The configuration is
+    /// not written — a restored cache keeps the geometry it was rebuilt
+    /// with, and [`Cache::restore_from`] verifies it matches.
+    pub(crate) fn encode_into(&self, e: &mut mosaic_ckpt::Enc) {
+        e.u64(self.tick);
+        e.u64(self.hits);
+        e.u64(self.misses);
+        e.u64(self.accesses);
+        e.u32(self.sets.len() as u32);
+        e.u32(self.sets.first().map_or(0, |s| s.len()) as u32);
+        for set in &self.sets {
+            for way in set {
+                e.u64(way.tag);
+                e.bool(way.valid);
+                e.bool(way.dirty);
+                e.u64(way.last_use);
+            }
+        }
+    }
+
+    pub(crate) fn restore_from(
+        &mut self,
+        d: &mut mosaic_ckpt::Dec<'_>,
+    ) -> Result<(), mosaic_ckpt::CkptError> {
+        self.tick = d.u64("cache tick")?;
+        self.hits = d.u64("cache hits")?;
+        self.misses = d.u64("cache misses")?;
+        self.accesses = d.u64("cache accesses")?;
+        let sets = d.u32("cache set count")? as usize;
+        let ways = d.u32("cache way count")? as usize;
+        if sets != self.sets.len() || ways != self.sets.first().map_or(0, |s| s.len()) {
+            return Err(mosaic_ckpt::CkptError::mismatch(format!(
+                "cache {}: checkpoint geometry {sets}x{ways} differs from configured {}x{}",
+                self.config.name(),
+                self.sets.len(),
+                self.sets.first().map_or(0, |s| s.len()),
+            )));
+        }
+        for set in &mut self.sets {
+            for way in set {
+                way.tag = d.u64("cache way tag")?;
+                way.valid = d.bool("cache way valid")?;
+                way.dirty = d.bool("cache way dirty")?;
+                way.last_use = d.u64("cache way last_use")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -894,6 +894,315 @@ impl MemoryHierarchy {
     }
 }
 
+
+impl MemoryHierarchy {
+    /// Serializes every piece of dynamic state — cache arrays, MSHRs,
+    /// prefetcher tables, DRAM queues, scheduled events, in-flight
+    /// request states, undelivered completions, counters, and
+    /// observability artifacts. The configuration and observability
+    /// level are not written; a restored hierarchy keeps whatever it was
+    /// rebuilt with (mismatched geometry is detected on restore).
+    pub fn save_state(&self, e: &mut mosaic_ckpt::Enc) {
+        e.u32(self.l1.len() as u32);
+        for c in &self.l1 {
+            c.encode_into(e);
+        }
+        e.u32(self.l2.len() as u32);
+        for c in &self.l2 {
+            c.encode_into(e);
+        }
+        self.llc.encode_into(e);
+        for m in &self.l1_mshr {
+            m.encode_into(e);
+        }
+        for m in &self.l2_mshr {
+            m.encode_into(e);
+        }
+        self.llc_mshr.encode_into(e);
+        for p in &self.prefetchers {
+            p.encode_into(e);
+        }
+        match (&self.dram_simple, &self.dram_banked) {
+            (Some(d), _) => {
+                e.u8(0);
+                d.encode_into(e);
+            }
+            (None, Some(d)) => {
+                e.u8(1);
+                d.encode_into(e);
+            }
+            (None, None) => e.u8(2),
+        }
+
+        let mut addrs: Vec<(u64, u64)> = self
+            .dram_addr
+            .iter()
+            .map(|(id, &line)| (id.0, line))
+            .collect();
+        addrs.sort_unstable();
+        e.u64(addrs.len() as u64);
+        for (id, line) in addrs {
+            e.u64(id);
+            e.u64(line);
+        }
+
+        let mut events: Vec<(u64, u64, Event)> =
+            self.events.iter().map(|Reverse(t)| *t).collect();
+        events.sort_unstable();
+        e.u64(events.len() as u64);
+        for (cycle, seq, ev) in events {
+            e.u64(cycle);
+            e.u64(seq);
+            match ev {
+                Event::Lookup { id, level } => {
+                    e.u8(0);
+                    e.u64(id.0);
+                    e.u8(match level {
+                        Level::L1 => 0,
+                        Level::L2 => 1,
+                        Level::Llc => 2,
+                    });
+                }
+                Event::DramEnqueue { id } => {
+                    e.u8(1);
+                    e.u64(id.0);
+                }
+            }
+        }
+        e.u64(self.seq);
+        e.u64(self.next_id);
+
+        let mut states: Vec<(u64, ReqState)> =
+            self.states.iter().map(|(id, &st)| (id.0, st)).collect();
+        states.sort_unstable_by_key(|&(id, _)| id);
+        e.u64(states.len() as u64);
+        for (id, st) in states {
+            e.u64(id);
+            e.usize(st.tile);
+            e.u64(st.line);
+            e.u8(match st.kind {
+                AccessKind::Read => 0,
+                AccessKind::Write => 1,
+                AccessKind::Atomic => 2,
+                AccessKind::Prefetch => 3,
+            });
+            e.bool(st.writeback);
+        }
+
+        e.u64(self.completions.len() as u64);
+        for c in &self.completions {
+            e.u64(c.id.0);
+            e.usize(c.tile);
+            e.u64(c.at_cycle);
+        }
+
+        let s = &self.stats;
+        for v in [
+            s.l1_hits,
+            s.l1_misses,
+            s.l2_hits,
+            s.l2_misses,
+            s.llc_hits,
+            s.llc_misses,
+            s.dram_reads,
+            s.dram_writebacks,
+            s.atomics,
+            s.prefetches,
+        ] {
+            e.u64(v);
+        }
+        e.u64(self.atomic_free_at);
+
+        self.timeline.encode_into(e);
+        let mut issue: Vec<(u64, u64)> = self
+            .req_issue
+            .iter()
+            .map(|(id, &t)| (id.0, t))
+            .collect();
+        issue.sort_unstable();
+        e.u64(issue.len() as u64);
+        for (id, t) in issue {
+            e.u64(id);
+            e.u64(t);
+        }
+        let mut enter: Vec<(u64, u64)> = self
+            .dram_enter
+            .iter()
+            .map(|(id, &t)| (id.0, t))
+            .collect();
+        enter.sort_unstable();
+        e.u64(enter.len() as u64);
+        for (id, t) in enter {
+            e.u64(id);
+            e.u64(t);
+        }
+        self.occ_l1.encode_into(e);
+        self.occ_l2.encode_into(e);
+        self.occ_llc.encode_into(e);
+    }
+
+    /// Restores the state written by [`MemoryHierarchy::save_state`] into
+    /// a hierarchy rebuilt from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mosaic_ckpt::CkptError`] when the data is truncated or
+    /// corrupt, or when the rebuilt configuration (tile count, cache
+    /// geometry, DRAM model) disagrees with what the checkpoint was taken
+    /// from.
+    pub fn restore_state(
+        &mut self,
+        d: &mut mosaic_ckpt::Dec<'_>,
+    ) -> Result<(), mosaic_ckpt::CkptError> {
+        let nl1 = d.u32("hierarchy L1 count")? as usize;
+        if nl1 != self.l1.len() {
+            return Err(mosaic_ckpt::CkptError::mismatch(format!(
+                "hierarchy: checkpoint has {nl1} L1 caches, configuration has {}",
+                self.l1.len()
+            )));
+        }
+        for c in &mut self.l1 {
+            c.restore_from(d)?;
+        }
+        let nl2 = d.u32("hierarchy L2 count")? as usize;
+        if nl2 != self.l2.len() {
+            return Err(mosaic_ckpt::CkptError::mismatch(format!(
+                "hierarchy: checkpoint has {nl2} L2 caches, configuration has {}",
+                self.l2.len()
+            )));
+        }
+        for c in &mut self.l2 {
+            c.restore_from(d)?;
+        }
+        self.llc.restore_from(d)?;
+        for m in &mut self.l1_mshr {
+            m.restore_from(d)?;
+        }
+        for m in &mut self.l2_mshr {
+            m.restore_from(d)?;
+        }
+        self.llc_mshr.restore_from(d)?;
+        for p in &mut self.prefetchers {
+            p.restore_from(d)?;
+        }
+        let dram_tag = d.u8("hierarchy DRAM model tag")?;
+        match (dram_tag, self.dram_simple.as_mut(), self.dram_banked.as_mut()) {
+            (0, Some(dram), _) => dram.restore_from(d)?,
+            (1, _, Some(dram)) => dram.restore_from(d)?,
+            (2, None, None) => {}
+            _ => {
+                return Err(mosaic_ckpt::CkptError::mismatch(format!(
+                    "hierarchy: checkpoint DRAM model tag {dram_tag} does not match the configured model"
+                )))
+            }
+        }
+
+        self.dram_addr.clear();
+        for _ in 0..d.u64("hierarchy dram-addr count")? {
+            let id = ReqId(d.u64("dram-addr id")?);
+            let line = d.u64("dram-addr line")?;
+            self.dram_addr.insert(id, line);
+        }
+
+        self.events.clear();
+        for _ in 0..d.u64("hierarchy event count")? {
+            let cycle = d.u64("event cycle")?;
+            let seq = d.u64("event seq")?;
+            let ev = match d.u8("event tag")? {
+                0 => {
+                    let id = ReqId(d.u64("event req id")?);
+                    let level = match d.u8("event level")? {
+                        0 => Level::L1,
+                        1 => Level::L2,
+                        2 => Level::Llc,
+                        v => {
+                            return Err(mosaic_ckpt::CkptError::corrupt(format!(
+                                "event level tag {v}"
+                            )))
+                        }
+                    };
+                    Event::Lookup { id, level }
+                }
+                1 => Event::DramEnqueue {
+                    id: ReqId(d.u64("event req id")?),
+                },
+                v => return Err(mosaic_ckpt::CkptError::corrupt(format!("event tag {v}"))),
+            };
+            self.events.push(Reverse((cycle, seq, ev)));
+        }
+        self.seq = d.u64("hierarchy seq")?;
+        self.next_id = d.u64("hierarchy next_id")?;
+
+        self.states.clear();
+        for _ in 0..d.u64("hierarchy state count")? {
+            let id = ReqId(d.u64("state id")?);
+            let tile = d.usize("state tile")?;
+            let line = d.u64("state line")?;
+            let kind = match d.u8("state kind")? {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                2 => AccessKind::Atomic,
+                3 => AccessKind::Prefetch,
+                v => {
+                    return Err(mosaic_ckpt::CkptError::corrupt(format!(
+                        "state access kind {v}"
+                    )))
+                }
+            };
+            let writeback = d.bool("state writeback")?;
+            self.states.insert(
+                id,
+                ReqState {
+                    tile,
+                    line,
+                    kind,
+                    writeback,
+                },
+            );
+        }
+
+        self.completions.clear();
+        for _ in 0..d.u64("hierarchy completion count")? {
+            let id = ReqId(d.u64("completion id")?);
+            let tile = d.usize("completion tile")?;
+            let at_cycle = d.u64("completion cycle")?;
+            self.completions.push(Completion { id, tile, at_cycle });
+        }
+
+        self.stats = MemStats {
+            l1_hits: d.u64("stats l1_hits")?,
+            l1_misses: d.u64("stats l1_misses")?,
+            l2_hits: d.u64("stats l2_hits")?,
+            l2_misses: d.u64("stats l2_misses")?,
+            llc_hits: d.u64("stats llc_hits")?,
+            llc_misses: d.u64("stats llc_misses")?,
+            dram_reads: d.u64("stats dram_reads")?,
+            dram_writebacks: d.u64("stats dram_writebacks")?,
+            atomics: d.u64("stats atomics")?,
+            prefetches: d.u64("stats prefetches")?,
+        };
+        self.atomic_free_at = d.u64("hierarchy atomic_free_at")?;
+
+        self.timeline = Timeline::decode_from(d)?;
+        self.req_issue.clear();
+        for _ in 0..d.u64("hierarchy req-issue count")? {
+            let id = ReqId(d.u64("req-issue id")?);
+            let t = d.u64("req-issue cycle")?;
+            self.req_issue.insert(id, t);
+        }
+        self.dram_enter.clear();
+        for _ in 0..d.u64("hierarchy dram-enter count")? {
+            let id = ReqId(d.u64("dram-enter id")?);
+            let t = d.u64("dram-enter cycle")?;
+            self.dram_enter.insert(id, t);
+        }
+        self.occ_l1 = Log2Histogram::decode_from(d)?;
+        self.occ_l2 = Log2Histogram::decode_from(d)?;
+        self.occ_llc = Log2Histogram::decode_from(d)?;
+        Ok(())
+    }
+}
+
 /// Short stable label for timeline span names.
 fn kind_label(kind: AccessKind) -> &'static str {
     match kind {
@@ -1350,5 +1659,97 @@ mod noc_tests {
         let mut h2 = noc_hier(None, 4);
         let b = latency_of(&mut h2, 3, 0x5000, 0);
         assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    fn cfg() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig::new("L1", 1024).with_ways(2).with_latency(1),
+            l2: Some(CacheConfig::new("L2", 8 * 1024).with_ways(4).with_latency(4)),
+            llc: CacheConfig::new("LLC", 64 * 1024).with_ways(8).with_latency(10),
+            mshr_entries: 8,
+            prefetch: PrefetchConfig::default(),
+            dram: DramKind::Simple(SimpleDramConfig {
+                min_latency: 50,
+                epoch_cycles: 64,
+                max_per_epoch: 4,
+            }),
+            atomic_penalty: 15,
+            noc: None,
+        }
+    }
+
+    fn drive(h: &mut MemoryHierarchy, from: u64, to: u64, log: &mut Vec<Completion>) {
+        for t in from..to {
+            if t % 7 == 0 {
+                let _ = h.request(
+                    MemReq {
+                        tile: (t % 2) as usize,
+                        addr: 0x4000 + (t % 37) * 64,
+                        size: 8,
+                        kind: if t % 5 == 0 {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
+                    },
+                    t,
+                );
+            }
+            h.step(t);
+            log.extend(h.drain_completions());
+        }
+    }
+
+    #[test]
+    fn mid_flight_snapshot_resumes_bit_identically() {
+        // Straight run.
+        let mut gold = MemoryHierarchy::new(cfg(), 2);
+        let mut gold_log = Vec::new();
+        drive(&mut gold, 0, 400, &mut gold_log);
+
+        // Run to a cut point with requests still in flight, snapshot,
+        // restore into a fresh hierarchy, finish there.
+        let mut first = MemoryHierarchy::new(cfg(), 2);
+        let mut log = Vec::new();
+        drive(&mut first, 0, 130, &mut log);
+        assert!(first.in_flight() > 0, "cut point should be mid-flight");
+        let mut e = mosaic_ckpt::Enc::new();
+        first.save_state(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut resumed = MemoryHierarchy::new(cfg(), 2);
+        let mut d = mosaic_ckpt::Dec::new(&bytes);
+        resumed.restore_state(&mut d).expect("restore");
+        assert!(d.is_exhausted(), "payload fully consumed");
+        drive(&mut resumed, 130, 400, &mut log);
+
+        assert_eq!(log, gold_log);
+        assert_eq!(resumed.stats(), gold.stats());
+        // Re-encoding the final state must match the straight run too.
+        let mut ea = mosaic_ckpt::Enc::new();
+        gold.save_state(&mut ea);
+        let mut eb = mosaic_ckpt::Enc::new();
+        resumed.save_state(&mut eb);
+        assert_eq!(ea.into_bytes(), eb.into_bytes());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_tile_count() {
+        let mut h = MemoryHierarchy::new(cfg(), 2);
+        let mut log = Vec::new();
+        drive(&mut h, 0, 50, &mut log);
+        let mut e = mosaic_ckpt::Enc::new();
+        h.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut other = MemoryHierarchy::new(cfg(), 4);
+        let err = other
+            .restore_state(&mut mosaic_ckpt::Dec::new(&bytes))
+            .expect_err("tile count differs");
+        assert!(matches!(err, mosaic_ckpt::CkptError::Mismatch { .. }));
     }
 }

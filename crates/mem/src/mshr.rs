@@ -100,6 +100,46 @@ impl Mshr {
     }
 }
 
+impl Mshr {
+    /// Serializes live entries (in line order) and counters; the capacity
+    /// comes from the rebuilt configuration.
+    pub(crate) fn encode_into(&self, e: &mut mosaic_ckpt::Enc) {
+        let mut lines: Vec<u64> = self.entries.keys().copied().collect();
+        lines.sort_unstable();
+        e.u32(lines.len() as u32);
+        for line in lines {
+            let waiters = &self.entries[&line];
+            e.u64(line);
+            e.u32(waiters.len() as u32);
+            for w in waiters {
+                e.u64(w.0);
+            }
+        }
+        e.u64(self.coalesced);
+        e.u64(self.full_stalls);
+    }
+
+    pub(crate) fn restore_from(
+        &mut self,
+        d: &mut mosaic_ckpt::Dec<'_>,
+    ) -> Result<(), mosaic_ckpt::CkptError> {
+        self.entries.clear();
+        for _ in 0..d.u32("mshr entry count")? {
+            let line = d.u64("mshr line")?;
+            let n = d.u32("mshr waiter count")?;
+            let mut waiters = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                waiters.push(ReqId(d.u64("mshr waiter")?));
+            }
+            self.entries.insert(line, waiters);
+        }
+        self.coalesced = d.u64("mshr coalesced")?;
+        self.full_stalls = d.u64("mshr full_stalls")?;
+        Ok(())
+    }
+}
+
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -185,6 +185,55 @@ impl SimpleDram {
     }
 }
 
+impl SimpleDram {
+    /// Serializes the pending queue (sorted, which matches pop order since
+    /// each entry carries a unique sequence number) and epoch/counter
+    /// state.
+    pub(crate) fn encode_into(&self, e: &mut mosaic_ckpt::Enc) {
+        let mut pending: Vec<(u64, u64, u64)> = self
+            .queue
+            .iter()
+            .map(|Reverse((ready, seq, id))| (*ready, *seq, id.0))
+            .collect();
+        pending.sort_unstable();
+        e.u32(pending.len() as u32);
+        for (ready, seq, id) in pending {
+            e.u64(ready);
+            e.u64(seq);
+            e.u64(id);
+        }
+        e.u64(self.seq);
+        e.u64(self.epoch_start);
+        e.u32(self.returned_this_epoch);
+        e.u64(self.total_requests);
+        e.u64(self.total_returned);
+        e.u64(self.throttled_cycles);
+        e.u64(self.last_step);
+    }
+
+    pub(crate) fn restore_from(
+        &mut self,
+        d: &mut mosaic_ckpt::Dec<'_>,
+    ) -> Result<(), mosaic_ckpt::CkptError> {
+        self.queue.clear();
+        for _ in 0..d.u32("dram queue length")? {
+            let ready = d.u64("dram entry ready")?;
+            let seq = d.u64("dram entry seq")?;
+            let id = ReqId(d.u64("dram entry id")?);
+            self.queue.push(Reverse((ready, seq, id)));
+        }
+        self.seq = d.u64("dram seq")?;
+        self.epoch_start = d.u64("dram epoch_start")?;
+        self.returned_this_epoch = d.u32("dram returned_this_epoch")?;
+        self.total_requests = d.u64("dram total_requests")?;
+        self.total_returned = d.u64("dram total_returned")?;
+        self.throttled_cycles = d.u64("dram throttled_cycles")?;
+        self.last_step = d.u64("dram last_step")?;
+        Ok(())
+    }
+}
+
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -213,3 +213,97 @@ mod tests {
         assert_eq!(e.mem_lat.max(), 32);
     }
 }
+
+impl StallKind {
+    /// Decodes a kind from its stable index (the `as usize` value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mosaic_ckpt::CkptError`] for an index outside
+    /// `0..STALL_KINDS`.
+    pub fn from_index(i: u8) -> Result<Self, mosaic_ckpt::CkptError> {
+        StallKind::all()
+            .into_iter()
+            .find(|k| *k as u8 == i)
+            .ok_or_else(|| {
+                mosaic_ckpt::CkptError::corrupt(format!("stall kind index {i} out of range"))
+            })
+    }
+}
+
+impl IrProfile {
+    /// Serializes the profile into a checkpoint section, entries in key
+    /// order (the map is a `BTreeMap`, so the byte stream is
+    /// deterministic).
+    pub fn encode_into(&self, e: &mut mosaic_ckpt::Enc) {
+        e.u64(self.map.len() as u64);
+        for (&(func, inst), p) in &self.map {
+            e.u32(func);
+            e.u32(inst);
+            e.u64(p.retired);
+            for k in 0..STALL_KINDS {
+                e.u64(p.stalls[k]);
+            }
+            p.mem_lat.encode_into(e);
+        }
+    }
+
+    /// Decodes a profile written by [`IrProfile::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mosaic_ckpt::CkptError`] on truncated or malformed
+    /// data.
+    pub fn decode_from(
+        d: &mut mosaic_ckpt::Dec<'_>,
+    ) -> Result<Self, mosaic_ckpt::CkptError> {
+        let n = d.u64("profile entry count")?;
+        let mut p = IrProfile::new();
+        for _ in 0..n {
+            let func = d.u32("profile func id")?;
+            let inst = d.u32("profile inst id")?;
+            let mut e = InstProfile {
+                retired: d.u64("profile retired")?,
+                ..InstProfile::default()
+            };
+            for k in 0..STALL_KINDS {
+                e.stalls[k] = d.u64("profile stall counter")?;
+            }
+            e.mem_lat = Log2Histogram::decode_from(d)?;
+            p.map.insert((func, inst), e);
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    #[test]
+    fn profile_and_histogram_round_trip() {
+        let mut p = IrProfile::new();
+        p.retire((2, 7), 11);
+        p.stall((2, 7), StallKind::Recv, 40);
+        p.mem_latency((2, 7), 123);
+        p.mem_latency((0, 1), 0);
+        let mut e = mosaic_ckpt::Enc::new();
+        p.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = mosaic_ckpt::Dec::new(&bytes);
+        let back = IrProfile::decode_from(&mut d).unwrap();
+        assert!(d.is_exhausted());
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn empty_histogram_round_trips_min_sentinel() {
+        let h = Log2Histogram::new();
+        let mut e = mosaic_ckpt::Enc::new();
+        h.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let back = Log2Histogram::decode_from(&mut mosaic_ckpt::Dec::new(&bytes)).unwrap();
+        assert_eq!(h, back);
+        assert_eq!(back.min(), 0);
+    }
+}

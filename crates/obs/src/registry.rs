@@ -480,6 +480,59 @@ impl StatsRegistry {
     }
 }
 
+impl Log2Histogram {
+    /// Serializes the histogram into a checkpoint section: exact
+    /// `count`/`sum` and the raw `min`/`max` fields (so an empty
+    /// histogram round-trips its `u64::MAX` min sentinel), then the
+    /// nonzero buckets as sparse `(index, count)` pairs.
+    pub fn encode_into(&self, e: &mut mosaic_ckpt::Enc) {
+        e.u64(self.count);
+        e.u64(self.sum);
+        e.u64(self.min);
+        e.u64(self.max);
+        let nonzero: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (i, n))
+            .collect();
+        e.u32(nonzero.len() as u32);
+        for (i, n) in nonzero {
+            e.u8(i as u8);
+            e.u64(n);
+        }
+    }
+
+    /// Decodes a histogram written by [`Log2Histogram::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mosaic_ckpt::CkptError`] on truncated data or a
+    /// bucket index outside `0..65`.
+    pub fn decode_from(
+        d: &mut mosaic_ckpt::Dec<'_>,
+    ) -> Result<Self, mosaic_ckpt::CkptError> {
+        let mut h = Log2Histogram::new();
+        h.count = d.u64("histogram count")?;
+        h.sum = d.u64("histogram sum")?;
+        h.min = d.u64("histogram min")?;
+        h.max = d.u64("histogram max")?;
+        let nonzero = d.u32("histogram bucket count")?;
+        for _ in 0..nonzero {
+            let i = d.u8("histogram bucket index")? as usize;
+            if i >= h.buckets.len() {
+                return Err(mosaic_ckpt::CkptError::corrupt(format!(
+                    "histogram bucket index {i} out of range"
+                )));
+            }
+            h.buckets[i] = d.u64("histogram bucket value")?;
+        }
+        Ok(h)
+    }
+}
+
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -185,3 +185,109 @@ mod tests {
         assert_eq!(a.threads[0].2, "tile.0");
     }
 }
+
+/// Interns a span category decoded from a checkpoint back into the
+/// `&'static str` the [`Span`] type carries. All categories the
+/// simulator emits are known at compile time; anything else (a newer
+/// writer) is leaked once, which is bounded by the number of distinct
+/// categories in the file.
+fn intern_cat(cat: &str) -> &'static str {
+    match cat {
+        "tile" => "tile",
+        "stall" => "stall",
+        "mem" => "mem",
+        "dram" => "dram",
+        "accel" => "accel",
+        other => Box::leak(other.to_string().into_boxed_str()),
+    }
+}
+
+impl Timeline {
+    /// Serializes spans and track metadata into a checkpoint section.
+    pub fn encode_into(&self, e: &mut mosaic_ckpt::Enc) {
+        e.u64(self.spans.len() as u64);
+        for sp in &self.spans {
+            e.u32(sp.pid);
+            e.u32(sp.tid);
+            e.str(sp.cat);
+            e.str(&sp.name);
+            e.u64(sp.start);
+            e.u64(sp.end);
+        }
+        e.u32(self.processes.len() as u32);
+        for (pid, name) in &self.processes {
+            e.u32(*pid);
+            e.str(name);
+        }
+        e.u32(self.threads.len() as u32);
+        for (pid, tid, name) in &self.threads {
+            e.u32(*pid);
+            e.u32(*tid);
+            e.str(name);
+        }
+    }
+
+    /// Decodes a timeline written by [`Timeline::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mosaic_ckpt::CkptError`] on truncated or malformed
+    /// data.
+    pub fn decode_from(
+        d: &mut mosaic_ckpt::Dec<'_>,
+    ) -> Result<Self, mosaic_ckpt::CkptError> {
+        let mut t = Timeline::new();
+        let nspans = d.u64("timeline span count")?;
+        for _ in 0..nspans {
+            let pid = d.u32("span pid")?;
+            let tid = d.u32("span tid")?;
+            let cat = intern_cat(&d.str("span category")?);
+            let name = d.str("span name")?;
+            let start = d.u64("span start")?;
+            let end = d.u64("span end")?;
+            t.spans.push(Span {
+                pid,
+                tid,
+                cat,
+                name,
+                start,
+                end,
+            });
+        }
+        let nproc = d.u32("timeline process count")?;
+        for _ in 0..nproc {
+            let pid = d.u32("process pid")?;
+            let name = d.str("process name")?;
+            t.processes.push((pid, name));
+        }
+        let nthread = d.u32("timeline thread count")?;
+        for _ in 0..nthread {
+            let pid = d.u32("thread pid")?;
+            let tid = d.u32("thread tid")?;
+            let name = d.str("thread name")?;
+            t.threads.push((pid, tid, name));
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    #[test]
+    fn timeline_round_trips_spans_and_tracks() {
+        let mut t = Timeline::new();
+        t.process_name(0, "tiles");
+        t.thread_name(0, 2, "tile.2");
+        t.span(0, 2, "stall", "stall", 5, 9);
+        t.span(1, 0, "dram", "rd", 1, 2);
+        let mut e = mosaic_ckpt::Enc::new();
+        t.encode_into(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = mosaic_ckpt::Dec::new(&bytes);
+        let back = Timeline::decode_from(&mut d).unwrap();
+        assert!(d.is_exhausted());
+        assert_eq!(t, back);
+    }
+}

@@ -201,6 +201,61 @@ impl ChannelSet {
     pub fn iter(&self) -> impl Iterator<Item = (u32, &Channel)> {
         self.channels.iter().map(|(&q, c)| (q, c))
     }
+
+    /// Serializes every channel — configuration, buffered message
+    /// maturity cycles, and counters — in ascending queue order so the
+    /// byte stream is deterministic.
+    pub fn encode_into(&self, e: &mut mosaic_ckpt::Enc) {
+        let mut queues: Vec<u32> = self.channels.keys().copied().collect();
+        queues.sort_unstable();
+        e.u32(queues.len() as u32);
+        for q in queues {
+            let c = &self.channels[&q];
+            e.u32(q);
+            e.usize(c.config.capacity);
+            e.u64(c.config.latency);
+            e.usize(c.queue.len());
+            for &maturity in &c.queue {
+                e.u64(maturity);
+            }
+            e.u64(c.sends);
+            e.u64(c.recvs);
+            e.u64(c.full_stalls);
+            e.u64(c.empty_stalls);
+            e.usize(c.max_occupancy);
+        }
+    }
+
+    /// Restores the channels written by [`ChannelSet::encode_into`],
+    /// replacing any existing channels (the default configuration for
+    /// channels created later is kept).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mosaic_ckpt::CkptError`] on truncated data.
+    pub fn restore_from(&mut self, d: &mut mosaic_ckpt::Dec<'_>) -> Result<(), mosaic_ckpt::CkptError> {
+        self.channels.clear();
+        let n = d.u32("channel count")?;
+        for _ in 0..n {
+            let q = d.u32("channel queue id")?;
+            let config = ChannelConfig {
+                capacity: d.usize("channel capacity")?,
+                latency: d.u64("channel latency")?,
+            };
+            let mut c = Channel::new(config);
+            let len = d.usize("channel occupancy")?;
+            for _ in 0..len {
+                c.queue.push_back(d.u64("channel message maturity")?);
+            }
+            c.sends = d.u64("channel sends")?;
+            c.recvs = d.u64("channel recvs")?;
+            c.full_stalls = d.u64("channel full_stalls")?;
+            c.empty_stalls = d.u64("channel empty_stalls")?;
+            c.max_occupancy = d.usize("channel max_occupancy")?;
+            self.channels.insert(q, c);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

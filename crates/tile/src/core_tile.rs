@@ -1238,6 +1238,17 @@ impl Tile for CoreTile {
         &self.stats
     }
 
+    fn save_state(&self, enc: &mut mosaic_ckpt::Enc) {
+        self.encode_state(enc);
+    }
+
+    fn restore_state(
+        &mut self,
+        dec: &mut mosaic_ckpt::Dec<'_>,
+    ) -> Result<(), mosaic_ckpt::CkptError> {
+        self.decode_state(dec)
+    }
+
     fn set_observe(&mut self, level: ObsLevel) {
         self.obs = if level == ObsLevel::Off {
             None
@@ -1554,4 +1565,563 @@ pub fn accelerator_tile(
         trace,
         mem_slot,
     )
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint encode/restore (see mosaic-ckpt and DESIGN.md §4.6).
+//
+// Only dynamic state is written. Everything derived from the configuration,
+// module, and trace — the DDG, fusion set, static predictions, DeSC roles —
+// is rebuilt by `CoreTile::new` on the resume path and must therefore be
+// byte-identical by construction, not by serialization. All hash maps are
+// written in sorted key order so the same state always produces the same
+// bytes.
+// ---------------------------------------------------------------------------
+
+use mosaic_ckpt::{CkptError, Dec, Enc};
+
+fn class_code(c: InstClass) -> u8 {
+    match c {
+        InstClass::IntAlu => 0,
+        InstClass::IntMul => 1,
+        InstClass::IntDiv => 2,
+        InstClass::FpAdd => 3,
+        InstClass::FpMul => 4,
+        InstClass::FpDiv => 5,
+        InstClass::FpSpecial => 6,
+        InstClass::Load => 7,
+        InstClass::Store => 8,
+        InstClass::Atomic => 9,
+        InstClass::Branch => 10,
+        InstClass::Phi => 11,
+        InstClass::Send => 12,
+        InstClass::Recv => 13,
+        InstClass::Accel => 14,
+    }
+}
+
+fn class_from_code(v: u8) -> Result<InstClass, CkptError> {
+    Ok(match v {
+        0 => InstClass::IntAlu,
+        1 => InstClass::IntMul,
+        2 => InstClass::IntDiv,
+        3 => InstClass::FpAdd,
+        4 => InstClass::FpMul,
+        5 => InstClass::FpDiv,
+        6 => InstClass::FpSpecial,
+        7 => InstClass::Load,
+        8 => InstClass::Store,
+        9 => InstClass::Atomic,
+        10 => InstClass::Branch,
+        11 => InstClass::Phi,
+        12 => InstClass::Send,
+        13 => InstClass::Recv,
+        14 => InstClass::Accel,
+        _ => return Err(CkptError::corrupt(format!("instruction class code {v}"))),
+    })
+}
+
+fn kind_code(k: AccessKind) -> u8 {
+    match k {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::Atomic => 2,
+        AccessKind::Prefetch => 3,
+    }
+}
+
+fn kind_from_code(v: u8) -> Result<AccessKind, CkptError> {
+    Ok(match v {
+        0 => AccessKind::Read,
+        1 => AccessKind::Write,
+        2 => AccessKind::Atomic,
+        3 => AccessKind::Prefetch,
+        _ => return Err(CkptError::corrupt(format!("access kind code {v}"))),
+    })
+}
+
+/// Writes a trace-cursor map (`static id -> stream position`) in id order.
+fn enc_cursors(e: &mut Enc, m: &HashMap<InstId, usize>) {
+    let mut keys: Vec<u32> = m.keys().map(|k| k.0).collect();
+    keys.sort_unstable();
+    e.u32(keys.len() as u32);
+    for k in keys {
+        e.u32(k);
+        e.usize(m[&InstId(k)]);
+    }
+}
+
+fn dec_cursors(d: &mut Dec<'_>, what: &str) -> Result<HashMap<InstId, usize>, CkptError> {
+    let n = d.u32(what)?;
+    let mut m = HashMap::with_capacity(n as usize);
+    for _ in 0..n {
+        let k = d.u32(what)?;
+        m.insert(InstId(k), d.usize(what)?);
+    }
+    Ok(m)
+}
+
+fn enc_desc(e: &mut Enc, desc: Option<DescRole>) {
+    match desc {
+        None => e.u8(0),
+        Some(DescRole::TerminalLoad { queue }) => {
+            e.u8(1);
+            e.u32(queue);
+        }
+        Some(DescRole::SkipSend) => e.u8(2),
+        Some(DescRole::StoreRecv) => e.u8(3),
+        Some(DescRole::DetachedStore) => e.u8(4),
+    }
+}
+
+fn dec_desc(d: &mut Dec<'_>) -> Result<Option<DescRole>, CkptError> {
+    Ok(match d.u8("desc role tag")? {
+        0 => None,
+        1 => Some(DescRole::TerminalLoad {
+            queue: d.u32("desc terminal-load queue")?,
+        }),
+        2 => Some(DescRole::SkipSend),
+        3 => Some(DescRole::StoreRecv),
+        4 => Some(DescRole::DetachedStore),
+        v => return Err(CkptError::corrupt(format!("desc role tag {v}"))),
+    })
+}
+
+impl CoreTile {
+    fn encode_state(&self, e: &mut Enc) {
+        e.usize(self.path_pos);
+        enc_cursors(e, &self.mem_pos);
+        enc_cursors(e, &self.accel_pos);
+        e.u64(self.next_seq);
+
+        let mut seqs: Vec<u64> = self.insts.keys().copied().collect();
+        seqs.sort_unstable();
+        e.u64(seqs.len() as u64);
+        for s in seqs {
+            let di = &self.insts[&s];
+            e.u64(s);
+            e.u32(di.static_id.0);
+            e.u64(di.dbb);
+            e.u8(class_code(di.class));
+            e.u8(match di.state {
+                DynState::Waiting => 0,
+                DynState::Ready => 1,
+                DynState::Issued => 2,
+            });
+            e.u32(di.remaining_parents);
+            e.u64(di.children.len() as u64);
+            for &c in &di.children {
+                e.u64(c);
+            }
+            match di.mem {
+                Some((addr, size, kind)) => {
+                    e.u8(1);
+                    e.u64(addr);
+                    e.u8(size);
+                    e.u8(kind_code(kind));
+                }
+                None => e.u8(0),
+            }
+            match &di.accel_args {
+                Some(args) => {
+                    e.u8(1);
+                    e.u32(args.len() as u32);
+                    for &a in args {
+                        e.i64(a);
+                    }
+                }
+                None => e.u8(0),
+            }
+            e.bool(di.is_terminator);
+            e.bool(di.fused);
+            enc_desc(e, di.desc);
+        }
+
+        e.u64(self.latest.len() as u64);
+        for &slot in &self.latest {
+            e.opt_u64(slot);
+        }
+        e.u64(self.ready.len() as u64);
+        for &s in &self.ready {
+            e.u64(s);
+        }
+        e.u64(self.incomplete.len() as u64);
+        for &s in &self.incomplete {
+            e.u64(s);
+        }
+
+        let mut completions: Vec<(u64, u64)> =
+            self.completions.iter().map(|Reverse(p)| *p).collect();
+        completions.sort_unstable();
+        e.u64(completions.len() as u64);
+        for (cycle, seq) in completions {
+            e.u64(cycle);
+            e.u64(seq);
+        }
+
+        let mut inflight: Vec<(u64, u64)> =
+            self.mem_inflight.iter().map(|(id, &s)| (id.0, s)).collect();
+        inflight.sort_unstable();
+        e.u64(inflight.len() as u64);
+        for (id, s) in inflight {
+            e.u64(id);
+            e.u64(s);
+        }
+
+        self.mao.encode_into(e);
+
+        let mut fu: Vec<(u8, u32)> = self
+            .fu_busy
+            .iter()
+            .map(|(&c, &n)| (class_code(c), n))
+            .collect();
+        fu.sort_unstable();
+        e.u32(fu.len() as u32);
+        for (c, n) in fu {
+            e.u8(c);
+            e.u32(n);
+        }
+
+        let mut live: Vec<(u32, u32)> =
+            self.live_dbbs.iter().map(|(b, &n)| (b.0, n)).collect();
+        live.sort_unstable();
+        e.u32(live.len() as u32);
+        for (b, n) in live {
+            e.u32(b);
+            e.u32(n);
+        }
+
+        let mut remaining: Vec<(u64, u32)> =
+            self.dbb_remaining.iter().map(|(&d, &n)| (d, n)).collect();
+        remaining.sort_unstable();
+        e.u64(remaining.len() as u64);
+        for (dbb, n) in remaining {
+            e.u64(dbb);
+            e.u32(n);
+        }
+
+        let mut blocks: Vec<(u64, u32)> =
+            self.dbb_block.iter().map(|(&d, b)| (d, b.0)).collect();
+        blocks.sort_unstable();
+        e.u64(blocks.len() as u64);
+        for (dbb, b) in blocks {
+            e.u64(dbb);
+            e.u32(b);
+        }
+
+        e.u64(self.next_dbb);
+        match self.prev_launched_block {
+            Some(b) => {
+                e.u8(1);
+                e.u32(b.0);
+            }
+            None => e.u8(0),
+        }
+
+        let mut bimodal: Vec<(u32, u8)> =
+            self.bimodal.iter().map(|(b, &c)| (b.0, c)).collect();
+        bimodal.sort_unstable();
+        e.u32(bimodal.len() as u32);
+        for (b, c) in bimodal {
+            e.u32(b);
+            e.u8(c);
+        }
+
+        let mut detached: Vec<(u64, Option<u32>)> = self
+            .mem_detached
+            .iter()
+            .map(|(id, &q)| (id.0, q))
+            .collect();
+        detached.sort_unstable();
+        e.u64(detached.len() as u64);
+        for (id, q) in detached {
+            e.u64(id);
+            match q {
+                Some(queue) => {
+                    e.u8(1);
+                    e.u32(queue);
+                }
+                None => e.u8(0),
+            }
+        }
+
+        e.u32(self.pending_pushes.len() as u32);
+        for &q in &self.pending_pushes {
+            e.u32(q);
+        }
+        e.u32(self.detached_outstanding);
+        e.u32(self.atomic_outstanding);
+
+        match self.gate {
+            LaunchGate::Free => e.u8(0),
+            LaunchGate::WaitTerminator { seq, penalty } => {
+                e.u8(1);
+                e.u64(seq);
+                e.u64(penalty);
+            }
+            LaunchGate::WaitUntil(c) => {
+                e.u8(2);
+                e.u64(c);
+            }
+        }
+        e.opt_u64(self.accel_busy_until);
+        e.bool(self.done);
+        self.stats.encode_into(e);
+
+        match &self.obs {
+            Some(o) => {
+                e.u8(1);
+                o.profile.encode_into(e);
+                o.timeline.encode_into(e);
+                let mut meta: Vec<(u64, u32, u64)> = o
+                    .mem_meta
+                    .iter()
+                    .map(|(id, &(inst, t0))| (id.0, inst, t0))
+                    .collect();
+                meta.sort_unstable();
+                e.u64(meta.len() as u64);
+                for (id, inst, t0) in meta {
+                    e.u64(id);
+                    e.u32(inst);
+                    e.u64(t0);
+                }
+                match o.interval {
+                    Some((stalled, start)) => {
+                        e.u8(1);
+                        e.bool(stalled);
+                        e.u64(start);
+                    }
+                    None => e.u8(0),
+                }
+                e.opt_u64(o.first_step);
+                e.u64(o.last_seen);
+            }
+            None => e.u8(0),
+        }
+    }
+
+    fn decode_state(&mut self, d: &mut Dec<'_>) -> Result<(), CkptError> {
+        self.path_pos = d.usize("tile path_pos")?;
+        if self.path_pos > self.trace.path().len() {
+            return Err(CkptError::mismatch(format!(
+                "tile {}: path position {} exceeds trace length {}",
+                self.config.name,
+                self.path_pos,
+                self.trace.path().len()
+            )));
+        }
+        self.mem_pos = dec_cursors(d, "tile mem cursor")?;
+        self.accel_pos = dec_cursors(d, "tile accel cursor")?;
+        self.next_seq = d.u64("tile next_seq")?;
+
+        self.insts.clear();
+        let n = d.u64("tile in-flight count")?;
+        for _ in 0..n {
+            let seq = d.u64("inst seq")?;
+            let static_id = InstId(d.u32("inst static id")?);
+            let dbb = d.u64("inst dbb")?;
+            let class = class_from_code(d.u8("inst class")?)?;
+            let state = match d.u8("inst state")? {
+                0 => DynState::Waiting,
+                1 => DynState::Ready,
+                2 => DynState::Issued,
+                v => return Err(CkptError::corrupt(format!("inst state tag {v}"))),
+            };
+            let remaining_parents = d.u32("inst remaining_parents")?;
+            let nchildren = d.u64("inst child count")?;
+            let mut children = Vec::with_capacity(nchildren as usize);
+            for _ in 0..nchildren {
+                children.push(d.u64("inst child")?);
+            }
+            let mem = match d.u8("inst mem flag")? {
+                0 => None,
+                1 => {
+                    let addr = d.u64("inst mem addr")?;
+                    let size = d.u8("inst mem size")?;
+                    let kind = kind_from_code(d.u8("inst mem kind")?)?;
+                    Some((addr, size, kind))
+                }
+                v => return Err(CkptError::corrupt(format!("inst mem flag {v}"))),
+            };
+            let accel_args = match d.u8("inst accel flag")? {
+                0 => None,
+                1 => {
+                    let nargs = d.u32("inst accel arg count")?;
+                    let mut args = Vec::with_capacity(nargs as usize);
+                    for _ in 0..nargs {
+                        args.push(d.i64("inst accel arg")?);
+                    }
+                    Some(args)
+                }
+                v => return Err(CkptError::corrupt(format!("inst accel flag {v}"))),
+            };
+            let is_terminator = d.bool("inst is_terminator")?;
+            let fused = d.bool("inst fused")?;
+            let desc = dec_desc(d)?;
+            self.insts.insert(
+                seq,
+                DynInst {
+                    static_id,
+                    dbb,
+                    class,
+                    state,
+                    remaining_parents,
+                    children,
+                    mem,
+                    accel_args,
+                    is_terminator,
+                    fused,
+                    desc,
+                },
+            );
+        }
+
+        let nlatest = d.u64("tile latest length")?;
+        if nlatest as usize != self.latest.len() {
+            return Err(CkptError::mismatch(format!(
+                "tile {}: latest-def table has {} slots, checkpoint has {}",
+                self.config.name,
+                self.latest.len(),
+                nlatest
+            )));
+        }
+        for slot in &mut self.latest {
+            *slot = d.opt_u64("tile latest slot")?;
+        }
+
+        self.ready.clear();
+        for _ in 0..d.u64("tile ready count")? {
+            self.ready.insert(d.u64("tile ready seq")?);
+        }
+        self.incomplete.clear();
+        for _ in 0..d.u64("tile incomplete count")? {
+            self.incomplete.insert(d.u64("tile incomplete seq")?);
+        }
+
+        self.completions.clear();
+        for _ in 0..d.u64("tile completion count")? {
+            let cycle = d.u64("tile completion cycle")?;
+            let seq = d.u64("tile completion seq")?;
+            self.completions.push(Reverse((cycle, seq)));
+        }
+
+        self.mem_inflight.clear();
+        for _ in 0..d.u64("tile mem-inflight count")? {
+            let id = d.u64("tile mem-inflight id")?;
+            let seq = d.u64("tile mem-inflight seq")?;
+            self.mem_inflight.insert(ReqId(id), seq);
+        }
+
+        self.mao.restore_from(d)?;
+
+        self.fu_busy.clear();
+        for _ in 0..d.u32("tile fu-busy count")? {
+            let class = class_from_code(d.u8("tile fu-busy class")?)?;
+            self.fu_busy.insert(class, d.u32("tile fu-busy n")?);
+        }
+
+        self.live_dbbs.clear();
+        for _ in 0..d.u32("tile live-dbb count")? {
+            let b = BlockId(d.u32("tile live-dbb block")?);
+            self.live_dbbs.insert(b, d.u32("tile live-dbb n")?);
+        }
+
+        self.dbb_remaining.clear();
+        for _ in 0..d.u64("tile dbb-remaining count")? {
+            let dbb = d.u64("tile dbb-remaining dbb")?;
+            self.dbb_remaining.insert(dbb, d.u32("tile dbb-remaining n")?);
+        }
+
+        self.dbb_block.clear();
+        for _ in 0..d.u64("tile dbb-block count")? {
+            let dbb = d.u64("tile dbb-block dbb")?;
+            self.dbb_block.insert(dbb, BlockId(d.u32("tile dbb-block block")?));
+        }
+
+        self.next_dbb = d.u64("tile next_dbb")?;
+        self.prev_launched_block = match d.u8("tile prev-block flag")? {
+            0 => None,
+            1 => Some(BlockId(d.u32("tile prev-block id")?)),
+            v => return Err(CkptError::corrupt(format!("prev-block flag {v}"))),
+        };
+
+        self.bimodal.clear();
+        for _ in 0..d.u32("tile bimodal count")? {
+            let b = BlockId(d.u32("tile bimodal block")?);
+            self.bimodal.insert(b, d.u8("tile bimodal counter")?);
+        }
+
+        self.mem_detached.clear();
+        for _ in 0..d.u64("tile mem-detached count")? {
+            let id = ReqId(d.u64("tile mem-detached id")?);
+            let q = match d.u8("tile mem-detached flag")? {
+                0 => None,
+                1 => Some(d.u32("tile mem-detached queue")?),
+                v => return Err(CkptError::corrupt(format!("mem-detached flag {v}"))),
+            };
+            self.mem_detached.insert(id, q);
+        }
+
+        self.pending_pushes.clear();
+        for _ in 0..d.u32("tile pending-push count")? {
+            self.pending_pushes.push_back(d.u32("tile pending-push queue")?);
+        }
+        self.detached_outstanding = d.u32("tile detached_outstanding")?;
+        self.atomic_outstanding = d.u32("tile atomic_outstanding")?;
+
+        self.gate = match d.u8("tile gate tag")? {
+            0 => LaunchGate::Free,
+            1 => LaunchGate::WaitTerminator {
+                seq: d.u64("tile gate seq")?,
+                penalty: d.u64("tile gate penalty")?,
+            },
+            2 => LaunchGate::WaitUntil(d.u64("tile gate cycle")?),
+            v => return Err(CkptError::corrupt(format!("launch gate tag {v}"))),
+        };
+        self.accel_busy_until = d.opt_u64("tile accel_busy_until")?;
+        self.done = d.bool("tile done")?;
+        self.stats.restore_from(d)?;
+
+        // The obs payload is always present in the byte stream when the
+        // writer had observability on; decode it unconditionally and
+        // apply it only if this run has observability on too (resuming
+        // at a different level is allowed — it just changes what is
+        // recorded from here on, like sampled simulation).
+        if d.u8("tile obs flag")? == 1 {
+            let profile = IrProfile::decode_from(d)?;
+            let timeline = Timeline::decode_from(d)?;
+            let nmeta = d.u64("tile obs mem-meta count")?;
+            let mut mem_meta = HashMap::with_capacity(nmeta as usize);
+            for _ in 0..nmeta {
+                let id = ReqId(d.u64("tile obs mem-meta id")?);
+                let inst = d.u32("tile obs mem-meta inst")?;
+                let t0 = d.u64("tile obs mem-meta cycle")?;
+                mem_meta.insert(id, (inst, t0));
+            }
+            let interval = match d.u8("tile obs interval flag")? {
+                0 => None,
+                1 => {
+                    let stalled = d.bool("tile obs interval stalled")?;
+                    let start = d.u64("tile obs interval start")?;
+                    Some((stalled, start))
+                }
+                v => return Err(CkptError::corrupt(format!("obs interval flag {v}"))),
+            };
+            let first_step = d.opt_u64("tile obs first_step")?;
+            let last_seen = d.u64("tile obs last_seen")?;
+            if let Some(o) = self.obs.as_mut() {
+                o.profile = profile;
+                o.timeline = timeline;
+                o.mem_meta = mem_meta;
+                o.interval = interval;
+                o.first_step = first_step;
+                o.last_seen = last_seen;
+            }
+        }
+
+        // The survey memo is keyed by cycle and refilled on demand;
+        // dropping it cannot change behavior.
+        *self.skip_cache.borrow_mut() = None;
+        Ok(())
+    }
 }

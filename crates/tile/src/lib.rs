@@ -326,6 +326,49 @@ impl TileStats {
         reg.set_gauge(&p("energy_pj"), self.energy_pj);
         reg.set_gauge(&p("ipc"), self.ipc());
     }
+
+    /// Serializes every counter into a checkpoint section. The `name` is
+    /// not written — it comes from the configuration on restore.
+    pub fn encode_into(&self, e: &mut mosaic_ckpt::Enc) {
+        e.u64(self.retired);
+        e.u64(self.issued);
+        e.u64(self.cycles);
+        e.opt_u64(self.done_at);
+        e.f64(self.energy_pj);
+        e.u64(self.dbbs_launched);
+        e.u64(self.mispredicts);
+        e.u64(self.window_stalls);
+        e.u64(self.fu_stalls);
+        e.u64(self.mem_stalls);
+        e.u64(self.send_stalls);
+        e.u64(self.recv_stalls);
+        e.u64(self.accel_invocations);
+        e.u64(self.accel_cycles);
+    }
+
+    /// Restores the counters written by [`TileStats::encode_into`],
+    /// keeping the current `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mosaic_ckpt::CkptError`] on truncated data.
+    pub fn restore_from(&mut self, d: &mut mosaic_ckpt::Dec<'_>) -> Result<(), mosaic_ckpt::CkptError> {
+        self.retired = d.u64("stats retired")?;
+        self.issued = d.u64("stats issued")?;
+        self.cycles = d.u64("stats cycles")?;
+        self.done_at = d.opt_u64("stats done_at")?;
+        self.energy_pj = d.f64("stats energy_pj")?;
+        self.dbbs_launched = d.u64("stats dbbs_launched")?;
+        self.mispredicts = d.u64("stats mispredicts")?;
+        self.window_stalls = d.u64("stats window_stalls")?;
+        self.fu_stalls = d.u64("stats fu_stalls")?;
+        self.mem_stalls = d.u64("stats mem_stalls")?;
+        self.send_stalls = d.u64("stats send_stalls")?;
+        self.recv_stalls = d.u64("stats recv_stalls")?;
+        self.accel_invocations = d.u64("stats accel_invocations")?;
+        self.accel_cycles = d.u64("stats accel_cycles")?;
+        Ok(())
+    }
 }
 
 /// A tile's report of when it can next make architectural progress,
@@ -450,6 +493,28 @@ pub trait Tile {
     /// retire/stall/latency attribution). Default: empty.
     fn take_profile(&mut self) -> IrProfile {
         IrProfile::new()
+    }
+
+    /// Serializes this tile's dynamic state into a checkpoint section
+    /// (see `mosaic-ckpt`). Static state — the module, trace, DDG, and
+    /// configuration — is *not* written; a restore rebuilds it from the
+    /// same configuration and only overwrites dynamic state. The default
+    /// writes nothing, which pairs with the default `restore_state` for
+    /// stateless tiles.
+    fn save_state(&self, enc: &mut mosaic_ckpt::Enc) {
+        let _ = enc;
+    }
+
+    /// Restores the dynamic state written by [`Tile::save_state`] into a
+    /// freshly built tile of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mosaic_ckpt::CkptError`] when the section is
+    /// truncated, corrupt, or was written by a differently shaped tile.
+    fn restore_state(&mut self, dec: &mut mosaic_ckpt::Dec<'_>) -> Result<(), mosaic_ckpt::CkptError> {
+        let _ = dec;
+        Ok(())
     }
 }
 

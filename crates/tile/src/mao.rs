@@ -208,6 +208,52 @@ impl Mao {
     pub fn capacity_stalls(&self) -> u64 {
         self.capacity_stalls
     }
+
+    /// Serializes the tracked entries and stall counters into a
+    /// checkpoint section. The configuration (`lsq_size`,
+    /// `alias_speculation`) is not written — a restore keeps the values
+    /// the MAO was rebuilt with.
+    pub fn encode_into(&self, e: &mut mosaic_ckpt::Enc) {
+        e.u64(self.entries.len() as u64);
+        for (&seq, entry) in &self.entries {
+            e.u64(seq);
+            e.u64(entry.word);
+            e.bool(entry.is_store);
+            e.bool(entry.resolved);
+            e.bool(entry.issued);
+            e.bool(entry.complete);
+        }
+        e.u32(self.issued_incomplete);
+        e.u64(self.load_stalls);
+        e.u64(self.store_stalls);
+        e.u64(self.capacity_stalls);
+    }
+
+    /// Restores the state written by [`Mao::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mosaic_ckpt::CkptError`] on truncated data.
+    pub fn restore_from(&mut self, d: &mut mosaic_ckpt::Dec<'_>) -> Result<(), mosaic_ckpt::CkptError> {
+        self.entries.clear();
+        let n = d.u64("mao entry count")?;
+        for _ in 0..n {
+            let seq = d.u64("mao seq")?;
+            let entry = MaoEntry {
+                word: d.u64("mao word")?,
+                is_store: d.bool("mao is_store")?,
+                resolved: d.bool("mao resolved")?,
+                issued: d.bool("mao issued")?,
+                complete: d.bool("mao complete")?,
+            };
+            self.entries.insert(seq, entry);
+        }
+        self.issued_incomplete = d.u32("mao issued_incomplete")?;
+        self.load_stalls = d.u64("mao load_stalls")?;
+        self.store_stalls = d.u64("mao store_stalls")?;
+        self.capacity_stalls = d.u64("mao capacity_stalls")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -123,13 +123,23 @@ impl KernelTrace {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a trace file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "not a MosaicSim trace file: expected magic {:?}, found {:?}",
+                    String::from_utf8_lossy(MAGIC),
+                    String::from_utf8_lossy(&magic),
+                ),
+            ));
         }
         let version = r_u32(r)?;
         if version != VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("unsupported trace version {version}"),
+                format!(
+                    "unsupported trace version {version}: this build reads version {VERSION} \
+                     (was the file written by a newer MosaicSim?)"
+                ),
             ));
         }
         let tiles = r_u32(r)? as usize;
@@ -202,10 +212,21 @@ impl KernelTrace {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors and format violations.
+    /// Propagates filesystem errors and format violations; every error
+    /// names the offending path, and a short read is reported as a
+    /// truncated file rather than a bare `UnexpectedEof`.
     pub fn load(path: impl AsRef<Path>) -> io::Result<KernelTrace> {
-        let mut r = BufReader::new(File::open(path)?);
-        KernelTrace::read_from(&mut r)
+        let path = path.as_ref();
+        let with_path = |e: io::Error| {
+            let detail = if e.kind() == io::ErrorKind::UnexpectedEof {
+                "truncated trace file (unexpected end of file)".to_string()
+            } else {
+                e.to_string()
+            };
+            io::Error::new(e.kind(), format!("{}: {detail}", path.display()))
+        };
+        let mut r = BufReader::new(File::open(path).map_err(&with_path)?);
+        KernelTrace::read_from(&mut r).map_err(&with_path)
     }
 }
 
@@ -291,6 +312,65 @@ mod tests {
         bad.extend_from_slice(&99u32.to_le_bytes());
         bad.extend_from_slice(&0u32.to_le_bytes());
         assert!(KernelTrace::read_from(&mut bad.as_slice()).is_err());
+    }
+
+    /// A wrong-magic error must say what it expected and what it found,
+    /// so a user who pointed the simulator at the wrong file can tell at
+    /// a glance.
+    #[test]
+    fn wrong_magic_error_names_expected_and_found() {
+        let err = KernelTrace::read_from(&mut b"MCKPxxxx".as_ref()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("MSTR"), "no expected magic in: {msg}");
+        assert!(msg.contains("MCKP"), "no found magic in: {msg}");
+    }
+
+    /// A future-version error must name both versions so the fix
+    /// (upgrade the reader, or regenerate the trace) is obvious.
+    #[test]
+    fn future_version_error_names_both_versions() {
+        let mut bad = Vec::new();
+        bad.extend_from_slice(MAGIC);
+        bad.extend_from_slice(&7u32.to_le_bytes());
+        let err = KernelTrace::read_from(&mut bad.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("version 7"), "no found version in: {msg}");
+        assert!(
+            msg.contains(&format!("version {VERSION}")),
+            "no supported version in: {msg}"
+        );
+    }
+
+    /// `load` must name the offending path in every failure — missing
+    /// file, bad magic, and truncation (reported as truncation, not as a
+    /// bare UnexpectedEof).
+    #[test]
+    fn load_errors_name_the_path() {
+        let dir = std::env::temp_dir();
+
+        let missing = dir.join("mosaic_trace_missing.mstr");
+        let msg = KernelTrace::load(&missing).unwrap_err().to_string();
+        assert!(msg.contains("mosaic_trace_missing.mstr"), "{msg}");
+
+        let wrong_magic = dir.join("mosaic_trace_wrong_magic.mstr");
+        std::fs::write(&wrong_magic, b"ELF\x7fgarbage").unwrap();
+        let msg = KernelTrace::load(&wrong_magic).unwrap_err().to_string();
+        assert!(msg.contains("mosaic_trace_wrong_magic.mstr"), "{msg}");
+        assert!(msg.contains("MSTR"), "{msg}");
+        std::fs::remove_file(&wrong_magic).ok();
+
+        let mut buf = Vec::new();
+        sample_trace().write_to(&mut buf).unwrap();
+        let truncated = dir.join("mosaic_trace_truncated.mstr");
+        std::fs::write(&truncated, &buf[..buf.len() / 2]).unwrap();
+        let err = KernelTrace::load(&truncated).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let msg = err.to_string();
+        assert!(msg.contains("mosaic_trace_truncated.mstr"), "{msg}");
+        assert!(msg.contains("truncated"), "{msg}");
+        std::fs::remove_file(&truncated).ok();
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`accel`] | `mosaic-accel` | Analytic + cycle-level accelerator models — §IV |
 //! | [`core`] | `mosaic-core` | Interleaver, system builder, energy/EDP, runner — §II |
 //! | [`obs`] | `mosaic-obs` | Stats registry, cycle timelines, IR-level hotspot profiling |
+//! | [`ckpt`] | `mosaic-ckpt` | Deterministic checkpoint/restore snapshot format |
 //! | [`passes`] | `mosaic-passes` | DAE slicing (DeSC), DCE — §VII-A |
 //! | [`lint`] | `mosaic-lint` | Static channel-protocol, race, and liveness analysis over the IR |
 //! | [`kernels`] | `mosaic-kernels` | Parboil-style suite + case-study workloads — §VI/§VII |
@@ -54,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use mosaic_accel as accel;
+pub use mosaic_ckpt as ckpt;
 pub use mosaic_core as core;
 pub use mosaic_ddg as ddg;
 pub use mosaic_ir as ir;

@@ -1,0 +1,191 @@
+//! Differential test for checkpoint/restore (DESIGN.md §4.6).
+//!
+//! The contract: resuming from a snapshot taken at cycle N is
+//! *bit-identical* to a straight-through run — the final report (cycles,
+//! per-tile stats, memory stats, energy bit patterns), the full stats
+//! registry, and the IR profile may not differ in any way. The snapshot
+//! cycle is drawn from a seeded SplitMix64 generator per configuration,
+//! so each run of the suite probes the same pause points but those
+//! points land mid-flight in the pipeline, the MAO, the MSHRs, and the
+//! DRAM queues rather than at hand-picked quiet cycles.
+//!
+//! The matrix: 5 bundled kernels × {in-order, out-of-order} ×
+//! {fast-forward, naive} stepping.
+
+use std::sync::Arc;
+
+use mosaicsim::kernels::build_parboil;
+use mosaicsim::prelude::*;
+
+/// SplitMix64 — a tiny seeded generator for the snapshot cycles.
+struct TestRng(u64);
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// The builder for one configuration of the matrix. Straight run, prefix
+/// run, and resumed run must all construct the identical system, so all
+/// three go through this.
+fn builder_for(p: &Prepared, trace: &Arc<KernelTrace>, config: &CoreConfig, ff: bool) -> SystemBuilder {
+    SystemBuilder::new(Arc::new(p.module.clone()), trace.clone())
+        .memory(xeon_memory())
+        .fast_forward(ff)
+        .observe(ObsLevel::Stats)
+        .core(config.clone().with_name("diff"), p.func, 0)
+}
+
+/// Asserts every observable of the two runs is identical: the report
+/// fields, energy bit patterns, the full registry dump, and the profile.
+fn assert_identical(straight: &SimReport, resumed: &SimReport, label: &str) {
+    assert_eq!(straight.cycles, resumed.cycles, "{label}: cycle count diverged");
+    assert_eq!(
+        straight.total_retired, resumed.total_retired,
+        "{label}: retired count diverged"
+    );
+    assert_eq!(straight.mem, resumed.mem, "{label}: memory stats diverged");
+    assert_eq!(
+        straight.dram_throttled, resumed.dram_throttled,
+        "{label}: DRAM throttle accounting diverged"
+    );
+    for (s, r) in straight.tiles.iter().zip(&resumed.tiles) {
+        assert_eq!(s, r, "{label}: tile {} stats diverged", s.name);
+    }
+    for (field, s, r) in [
+        ("core", straight.core_energy_pj, resumed.core_energy_pj),
+        ("mem", straight.mem_energy_pj, resumed.mem_energy_pj),
+        ("static", straight.static_energy_pj, resumed.static_energy_pj),
+    ] {
+        assert_eq!(s.to_bits(), r.to_bits(), "{label}: {field} energy diverged");
+    }
+    assert_eq!(
+        straight.registry, resumed.registry,
+        "{label}: registry dump diverged"
+    );
+    assert_eq!(straight.profile, resumed.profile, "{label}: IR profile diverged");
+}
+
+/// Snapshot at a seeded-random cycle, resume, and demand bit-identity
+/// with the straight-through run, across the full kernel × core ×
+/// stepping matrix.
+#[test]
+fn resume_is_bit_identical_to_straight_run() {
+    let kernels = ["bfs", "sgemm", "spmv", "histo", "stencil"];
+    let cores = [
+        ("in_order", CoreConfig::in_order()),
+        ("out_of_order", CoreConfig::out_of_order()),
+    ];
+    let mut rng = TestRng(0x6d6f_7361_6963_736d); // "mosaicsm"
+    for name in kernels {
+        let p = build_parboil(name, 1);
+        let (trace, _) = p.trace(1).expect("trace");
+        let trace = Arc::new(trace);
+        for (core_label, config) in &cores {
+            for ff in [true, false] {
+                let label = format!("{name}/{core_label}/{}", if ff { "ff" } else { "naive" });
+
+                let straight = builder_for(&p, &trace, config, ff)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{label}: straight run failed: {e}"));
+
+                // Snapshot somewhere strictly inside the run, away from
+                // the trivially-correct cycle-0 edge.
+                let snap = 1 + rng.below(straight.cycles - 1);
+
+                let mut il = builder_for(&p, &trace, config, ff)
+                    .build()
+                    .unwrap_or_else(|e| panic!("{label}: build failed: {e}"));
+                let paused = il.run_until(snap).expect("prefix run");
+                assert_eq!(paused, None, "{label}: prefix finished before cycle {snap}");
+                // Fast-forwarding may overshoot the requested cycle (the
+                // pause lands on the first *stepped* cycle at or past
+                // it); the snapshot cycle just has to be inside the run.
+                let ckpt = Arc::new(il.save_checkpoint());
+                assert!(
+                    ckpt.cycle() >= snap && ckpt.cycle() < straight.cycles,
+                    "{label}: snapshot at cycle {} for request {snap}",
+                    ckpt.cycle()
+                );
+
+                let resumed = builder_for(&p, &trace, config, ff)
+                    .resume_from_checkpoint(ckpt)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
+
+                assert_identical(&straight, &resumed, &format!("{label}@{snap}"));
+            }
+        }
+    }
+}
+
+/// The same contract through the file format: save the snapshot to disk,
+/// resume with [`SystemBuilder::resume_from`], and demand bit-identity.
+/// Also checks that a resumed run can itself checkpoint periodically.
+#[test]
+fn resume_through_a_file_is_bit_identical() {
+    let p = build_parboil("sgemm", 1);
+    let (trace, _) = p.trace(1).expect("trace");
+    let trace = Arc::new(trace);
+    let config = CoreConfig::out_of_order();
+
+    let straight = builder_for(&p, &trace, &config, true).run().expect("straight");
+
+    let mut il = builder_for(&p, &trace, &config, true).build().expect("build");
+    assert_eq!(il.run_until(straight.cycles / 2).expect("prefix"), None);
+    let dir = std::env::temp_dir();
+    let path = dir.join("mosaic_ckpt_differential.mckpt");
+    il.save_checkpoint().save(&path).expect("save checkpoint");
+
+    let repath = dir.join("mosaic_ckpt_differential_re.mckpt");
+    let resumed = builder_for(&p, &trace, &config, true)
+        .resume_from(&path)
+        .checkpoint_every(straight.cycles / 4)
+        .checkpoint_to(&repath)
+        .run()
+        .expect("resume");
+    assert_identical(&straight, &resumed, "sgemm/file");
+
+    // The periodic snapshot the resumed run wrote must itself be loadable
+    // and land at a cycle the policy says it should.
+    let periodic = mosaicsim::ckpt::Checkpoint::load(&repath).expect("periodic snapshot");
+    assert!(periodic.cycle() > straight.cycles / 2);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&repath).ok();
+}
+
+/// Resuming into a *different* system is a checkpoint error, not
+/// undefined behavior: the tile fingerprint is verified.
+#[test]
+fn resume_rejects_a_mismatched_system() {
+    let p = build_parboil("histo", 1);
+    let (trace, _) = p.trace(1).expect("trace");
+    let trace = Arc::new(trace);
+    let config = CoreConfig::in_order();
+
+    let mut il = builder_for(&p, &trace, &config, true).build().expect("build");
+    assert_eq!(il.run_until(500).expect("prefix"), None);
+    let ckpt = Arc::new(il.save_checkpoint());
+
+    // Same kernel, different tile name: the fingerprint no longer
+    // matches.
+    let err = SystemBuilder::new(Arc::new(p.module.clone()), trace.clone())
+        .memory(xeon_memory())
+        .core(config.clone().with_name("other"), p.func, 0)
+        .resume_from_checkpoint(ckpt)
+        .run()
+        .expect_err("mismatched resume must fail");
+    match err {
+        MosaicError::Ckpt { message } => {
+            assert!(message.contains("other"), "unhelpful mismatch message: {message}");
+        }
+        other => panic!("expected a checkpoint error, got {other}"),
+    }
+}
