@@ -1,4 +1,4 @@
-//! Design-choice ablations (DESIGN.md §4.9): quantify the model features
+//! Design-choice ablations (DESIGN.md §4.10): quantify the model features
 //! the paper calls out — prefetching, DRAM model fidelity, memory-alias
 //! speculation, branch speculation, and MSHR capacity.
 //!

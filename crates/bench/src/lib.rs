@@ -18,7 +18,7 @@
 //! | `fig13_combined` | Fig. 13 combined sparse+dense workloads |
 //! | `fig14_keras_edp` | Fig. 14 Keras EDP improvements |
 //! | `storage_report` | §VI-B trace storage requirements |
-//! | `ablations` | Design-choice ablations (DESIGN.md §4.9) |
+//! | `ablations` | Design-choice ablations (DESIGN.md §4.10) |
 //!
 //! This library crate holds the shared harness utilities.
 

@@ -13,6 +13,7 @@ use mosaic_ir::{FuncId, Module};
 use mosaic_lint::{lint_system, LintLevel, TileBinding};
 use mosaic_mem::{CacheConfig, DramKind, HierarchyConfig, MemStats, MemoryHierarchy};
 use mosaic_obs::{IrProfile, ObsLevel, StatsRegistry, Timeline};
+use mosaic_part::{partition, InterferenceGraph, LatencyModel, MemGeometry, PartitionPlan};
 use mosaic_tile::{
     AccelSim, ChannelConfig, ChannelSet, CoreConfig, CoreTile, NoAccel, Tile, TileStats,
 };
@@ -171,6 +172,7 @@ pub struct SystemBuilder {
     checkpoint_every: Option<u64>,
     checkpoint_path: Option<std::path::PathBuf>,
     resume: Option<ResumeSource>,
+    partition: Option<PartitionPlan>,
 }
 
 impl fmt::Debug for SystemBuilder {
@@ -200,6 +202,7 @@ impl SystemBuilder {
             checkpoint_every: None,
             checkpoint_path: None,
             resume: None,
+            partition: None,
         }
     }
 
@@ -317,6 +320,121 @@ impl SystemBuilder {
         self
     }
 
+    /// The memory geometry the static partitioner sees, derived from the
+    /// configured hierarchy. The banked DRAM model line-interleaves
+    /// 64-byte lines across `channels × banks_per_channel` units — a
+    /// partition of the address space that `MemGeometry`'s flat modulo
+    /// map reproduces exactly up to bank renaming (interference is
+    /// preserved). The simple DRAM model has no banks; the default
+    /// 8-bank proxy keeps footprint overlap visible.
+    fn mem_geometry(&self) -> MemGeometry {
+        match &self.memory.dram {
+            DramKind::Banked(b) => {
+                MemGeometry::new((b.channels * b.banks_per_channel) as usize, 64)
+            }
+            DramKind::Simple(_) => MemGeometry::default(),
+        }
+    }
+
+    /// The minimum-latency model for static horizon bounds: each class
+    /// is the minimum over all configured tiles (a lower bound must
+    /// survive the fastest core), and mispredicted-gate bounds apply
+    /// only when every tile uses static or no branch prediction.
+    fn latency_model(&self) -> LatencyModel {
+        use mosaic_ddg::InstClass;
+        use mosaic_tile::BranchMode;
+        let default = LatencyModel::default();
+        if self.tiles.is_empty() {
+            return default;
+        }
+        let arith = [
+            InstClass::IntAlu,
+            InstClass::IntMul,
+            InstClass::IntDiv,
+            InstClass::FpAdd,
+            InstClass::FpMul,
+            InstClass::FpDiv,
+            InstClass::FpSpecial,
+        ];
+        let alu = self
+            .tiles
+            .iter()
+            .flat_map(|t| arith.iter().map(|&c| t.config.costs.latency(c)))
+            .min()
+            .unwrap_or(default.alu);
+        let branch = self
+            .tiles
+            .iter()
+            .map(|t| t.config.costs.latency(InstClass::Branch))
+            .min()
+            .unwrap_or(default.branch);
+        let gate_bounds = self
+            .tiles
+            .iter()
+            .all(|t| matches!(t.config.branch, BranchMode::Static | BranchMode::None));
+        LatencyModel {
+            alu,
+            branch,
+            channel: self.channel.latency,
+            gate_bounds,
+        }
+    }
+
+    /// One [`TileBinding`] per configured tile (arguments unknown — the
+    /// builder never sees concrete argument values).
+    fn bindings(&self) -> Vec<TileBinding> {
+        self.tiles
+            .iter()
+            .map(|spec| {
+                let nparams = self.module.function(spec.func).params().len();
+                TileBinding::new(spec.func, spec.config.queue_offset, vec![None; nparams])
+            })
+            .collect()
+    }
+
+    /// Builds the system interference graph for the current
+    /// configuration and greedily partitions it into `shards` shards.
+    /// The returned plan is already validated against the configured
+    /// tile count and memory geometry, so it can be fed straight back
+    /// through [`Self::partition_plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MosaicError::InvalidConfig`] when no tiles are
+    /// configured or the plan fails validation.
+    pub fn compute_partition_plan(&self, shards: usize) -> Result<PartitionPlan, MosaicError> {
+        if self.tiles.is_empty() {
+            return Err(MosaicError::invalid_config(
+                "partition.tiles",
+                "cannot partition a system with no tiles",
+            ));
+        }
+        let geometry = self.mem_geometry();
+        let graph =
+            InterferenceGraph::build(&self.module, &self.bindings(), geometry, &self.latency_model());
+        let plan = partition(&graph, shards);
+        plan.validate(self.tiles.len(), geometry.num_banks)
+            .map_err(|e| MosaicError::invalid_config("partition.plan", e))?;
+        Ok(plan)
+    }
+
+    /// Attaches a BSP partition plan to the system. The plan is
+    /// validated against the configured tile count and memory geometry
+    /// (and re-checked at `build`, in case the memory configuration
+    /// changes afterwards); an attached plan exports its shard layout
+    /// and graph statistics into the report's registry under `part.*`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MosaicError::InvalidConfig`] when the plan does not
+    /// cover exactly this system's tiles and banks.
+    pub fn partition_plan(mut self, plan: PartitionPlan) -> Result<Self, MosaicError> {
+        plan.validate(self.tiles.len(), self.mem_geometry().num_banks)
+            .map_err(|e| MosaicError::invalid_config("partition.plan", e))?;
+        self.partition = Some(plan);
+        Ok(self)
+    }
+
     /// Rejects configurations the simulator cannot honor, naming the
     /// offending field. Centralized here so every entry point (direct
     /// `build`, `run`, the pipeline helpers, sweep drivers) fails the
@@ -393,6 +511,10 @@ impl SystemBuilder {
                 ));
             }
         }
+        if let Some(plan) = &self.partition {
+            plan.validate(self.tiles.len(), self.mem_geometry().num_banks)
+                .map_err(|e| MosaicError::invalid_config("partition.plan", e))?;
+        }
         check_cache("memory.l1", &self.memory.l1)?;
         if let Some(l2) = &self.memory.l2 {
             check_cache("memory.l2", l2)?;
@@ -423,15 +545,7 @@ impl SystemBuilder {
         if self.lint == LintLevel::Off {
             return Ok(());
         }
-        let bindings: Vec<TileBinding> = self
-            .tiles
-            .iter()
-            .map(|spec| {
-                let nparams = self.module.function(spec.func).params().len();
-                TileBinding::new(spec.func, spec.config.queue_offset, vec![None; nparams])
-            })
-            .collect();
-        let report = lint_system(&self.module, &bindings);
+        let report = lint_system(&self.module, &self.bindings());
         if report.fails(self.lint) {
             return Err(MosaicError::Lint(report));
         }
@@ -513,6 +627,23 @@ impl SystemBuilder {
         let energy = self.energy;
         let observe = self.observe;
         let areas: Vec<f64> = self.tiles.iter().map(|t| t.config.area_mm2).collect();
+        // Summarize the attached partition plan (and the interference
+        // graph it was cut from) before `build` consumes the builder;
+        // the numbers land in the registry below.
+        let part_stats = self.partition.as_ref().map(|plan| {
+            let graph = InterferenceGraph::build(
+                &self.module,
+                &self.bindings(),
+                self.mem_geometry(),
+                &self.latency_model(),
+            );
+            (
+                plan.clone(),
+                graph.channel_edges.len() as u64,
+                graph.bank_edges.len() as u64,
+                graph.unbounded_tiles.len() as u64,
+            )
+        });
         let mut il = self.build()?;
         let cycles = il.run().map_err(MosaicError::Sim)?;
         let (steps_executed, cycles_skipped, skips_taken) = (
@@ -546,6 +677,20 @@ impl SystemBuilder {
         registry.set_counter("sim.ff.steps_executed", steps_executed);
         registry.set_counter("sim.ff.cycles_skipped", cycles_skipped);
         registry.set_counter("sim.ff.skips_taken", skips_taken);
+        // Static partitioning summary (only when a plan is attached):
+        // shard layout quality plus interference-graph size, so sweep
+        // reports can correlate BSP epoch length with dynamic behavior.
+        if let Some((plan, ch_edges, bank_edges, unbounded)) = part_stats {
+            registry.set_counter("part.shards", plan.shards.len() as u64);
+            registry.set_counter("part.cut_weight", plan.cut_weight);
+            registry.set_counter("part.internal_weight", plan.internal_weight);
+            if plan.epoch_horizon != u64::MAX {
+                registry.set_counter("part.epoch_horizon", plan.epoch_horizon);
+            }
+            registry.set_counter("part.graph.channel_edges", ch_edges);
+            registry.set_counter("part.graph.bank_edges", bank_edges);
+            registry.set_counter("part.graph.unbounded_tiles", unbounded);
+        }
 
         let mut timeline = Timeline::new();
         if observe.trace_on() {
@@ -761,5 +906,90 @@ mod validation_tests {
                 .build()
                 .expect("paper preset must validate");
         }
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    //! Builder-side partition planning: plan computation, validation
+    //! against the configured geometry, and registry export.
+
+    use std::sync::Arc;
+
+    use mosaic_ir::{Constant, FunctionBuilder, MemImage, Module, TileProgram, Type};
+    use mosaic_tile::CoreConfig;
+
+    use super::SystemBuilder;
+    use crate::error::MosaicError;
+    use crate::record_trace;
+
+    /// Producer/consumer pair with *matched* queue offsets: a clean
+    /// system whose only interference is the q0 channel edge.
+    fn chatter() -> SystemBuilder {
+        let mut m = Module::new("chatter");
+        let p = m.add_function("produce", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(p));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.send(0, Constant::i64(42).into());
+        b.ret(None);
+        let c = m.add_function("consume", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(c));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        b.recv(0, Type::I64);
+        b.ret(None);
+        mosaic_ir::verify_module(&m).expect("verify");
+        let programs = vec![
+            TileProgram::single(p, vec![]),
+            TileProgram::single(c, vec![]),
+        ];
+        let (trace, _) = record_trace(&m, MemImage::new(), &programs).expect("trace");
+        SystemBuilder::new(Arc::new(m), Arc::new(trace))
+            .core(CoreConfig::in_order().with_name("produce"), p, 0)
+            .core(CoreConfig::in_order().with_name("consume"), c, 1)
+    }
+
+    #[test]
+    fn computed_plan_validates_and_round_trips() {
+        let b = chatter();
+        let plan = b.compute_partition_plan(2).expect("plan");
+        assert_eq!(plan.tiles, 2);
+        assert_eq!(plan.shards.len(), 2);
+        // No memory traffic: the only cross-shard path is the channel,
+        // whose delivery bound includes the channel latency.
+        assert!(plan.epoch_horizon >= 1, "horizon {}", plan.epoch_horizon);
+        let back =
+            mosaic_part::PartitionPlan::from_json(&plan.to_json()).expect("parses");
+        assert_eq!(back, plan);
+        // Attach and run: the registry carries the part.* summary.
+        let report = b.partition_plan(plan).expect("attach").run().expect("run");
+        assert_eq!(report.registry.counter("part.shards"), 2);
+        assert_eq!(report.registry.counter("part.graph.channel_edges"), 1);
+        assert_eq!(
+            report.registry.counter("part.epoch_horizon"),
+            report.registry.counter("part.epoch_horizon").max(1)
+        );
+    }
+
+    #[test]
+    fn mismatched_plan_is_rejected() {
+        let b = chatter();
+        let mut plan = b.compute_partition_plan(2).expect("plan");
+        plan.shards[0].tiles.clear();
+        match b.partition_plan(plan) {
+            Err(MosaicError::InvalidConfig { field, .. }) => {
+                assert_eq!(field, "partition.plan");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_tiles_cannot_be_partitioned() {
+        let b = chatter();
+        // A fresh builder with no cores.
+        let empty = SystemBuilder::new(b.module.clone(), b.trace.clone());
+        assert!(empty.compute_partition_plan(2).is_err());
     }
 }

@@ -1,11 +1,12 @@
 //! Static analysis framework over the MosaicSim IR.
 //!
-//! This module is the substrate `mosaic-lint` and the compiler passes
-//! build on: a control-flow graph with dominator/post-dominator trees
-//! ([`mod@cfg`]), a generic forward/backward worklist fixpoint solver over a
-//! lattice trait ([`dataflow`]), natural-loop detection with static
-//! trip-count bounds ([`loops`]), and SSA-value liveness / demand
-//! analyses ([`liveness`]).
+//! This module is the substrate `mosaic-lint`, `mosaic-part`, and the
+//! compiler passes build on: a control-flow graph with
+//! dominator/post-dominator trees ([`mod@cfg`]), a generic
+//! forward/backward worklist fixpoint solver over a lattice trait
+//! ([`dataflow`]), natural-loop detection with static trip-count bounds
+//! ([`loops`]), SSA-value liveness / demand analyses ([`liveness`]), and
+//! loop-summarized memory-access byte-range footprints ([`footprint`]).
 //!
 //! All analyses are purely structural: they inspect a verified
 //! [`crate::Function`] and never mutate it. The results are conservative —
@@ -45,10 +46,12 @@
 
 pub mod cfg;
 pub mod dataflow;
+pub mod footprint;
 pub mod liveness;
 pub mod loops;
 
 pub use cfg::{Cfg, DomTree};
+pub use footprint::{AccessRange, Footprint};
 pub use dataflow::{solve, Analysis, BitSet, BlockStates, Direction, Lattice, MustSet};
 pub use liveness::{demanded_values, DefinedValues, Liveness};
 pub use loops::{find_loops, trip_count, ExecCounts, NaturalLoop, Trip};

@@ -1,7 +1,7 @@
 //! `mosaic-lint` — static analysis over mosaic IR.
 //!
 //! ```text
-//! mosaic-lint [--deny] [--kernels] [--tiles N] [FILE.mir ...]
+//! mosaic-lint [--deny] [--json] [--kernels] [--tiles N] [FILE.mir ...]
 //! ```
 //!
 //! * `FILE.mir` arguments are parsed with span tracking so findings
@@ -10,6 +10,9 @@
 //! * `--kernels` lints every bundled paper kernel (Parboil suite,
 //!   sinkhorn/EWSD case studies, graph projection, Keras apps) as a
 //!   configured SPMD system with its real argument bindings.
+//! * `--json` replaces the human-readable report with one JSON object
+//!   (`{"units":[{"unit":…,"findings":[…]}…],"total_findings":N}`) on
+//!   stdout; exit status is unchanged.
 //! * `--deny` exits non-zero on *any* finding; otherwise only
 //!   error-severity findings fail the run.
 
@@ -18,12 +21,13 @@ use std::process::ExitCode;
 use mosaic_lint::{lint_module, lint_system, LintLevel, LintReport, TileBinding};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: mosaic-lint [--deny] [--kernels] [--tiles N] [FILE.mir ...]");
+    eprintln!("usage: mosaic-lint [--deny] [--json] [--kernels] [--tiles N] [FILE.mir ...]");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut deny = false;
+    let mut json = false;
     let mut kernels = false;
     let mut tiles = 4usize;
     let mut files: Vec<String> = Vec::new();
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--deny" => deny = true,
+            "--json" => json = true,
             "--kernels" => kernels = true,
             "--tiles" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => tiles = n,
@@ -53,6 +58,7 @@ fn main() -> ExitCode {
     let mut failed = false;
     let mut total_findings = 0usize;
     let mut units = 0usize;
+    let mut json_units: Vec<String> = Vec::new();
 
     for path in &files {
         units += 1;
@@ -73,8 +79,12 @@ fn main() -> ExitCode {
             }
         };
         let report = lint_module(&module);
-        for d in &report.diagnostics {
-            println!("{}", d.render(Some(&spans), Some(path)));
+        if json {
+            json_units.push(unit_json(path, &report));
+        } else {
+            for d in &report.diagnostics {
+                println!("{}", d.render(Some(&spans), Some(path)));
+            }
         }
         total_findings += report.diagnostics.len();
         failed |= report.fails(level) || report.error_count() > 0;
@@ -89,16 +99,27 @@ fn main() -> ExitCode {
                 .map(TileBinding::from_program)
                 .collect();
             let report = lint_system(&prepared.module, &bindings);
-            report_kernel(&prepared.name, &report);
+            if json {
+                json_units.push(unit_json(&prepared.name, &report));
+            } else {
+                report_kernel(&prepared.name, &report);
+            }
             total_findings += report.diagnostics.len();
             failed |= report.fails(level) || report.error_count() > 0;
         }
     }
 
-    println!(
-        "mosaic-lint: {units} unit(s) checked, {total_findings} finding(s){}",
-        if deny { " (deny)" } else { "" }
-    );
+    if json {
+        println!(
+            "{{\"units\":[{}],\"total_findings\":{total_findings}}}",
+            json_units.join(",")
+        );
+    } else {
+        println!(
+            "mosaic-lint: {units} unit(s) checked, {total_findings} finding(s){}",
+            if deny { " (deny)" } else { "" }
+        );
+    }
     if failed {
         ExitCode::FAILURE
     } else {
@@ -115,6 +136,17 @@ fn report_kernel(name: &str, report: &LintReport) {
             println!("  {d}");
         }
     }
+}
+
+/// One `{"unit":…,"findings":[…],"errors":N}` object for `--json`.
+fn unit_json(name: &str, report: &LintReport) -> String {
+    let findings: Vec<String> = report.diagnostics.iter().map(|d| d.to_json()).collect();
+    format!(
+        "{{\"unit\":\"{}\",\"findings\":[{}],\"errors\":{}}}",
+        name.replace('\\', "\\\\").replace('"', "\\\""),
+        findings.join(","),
+        report.error_count()
+    )
 }
 
 /// Every kernel the repository bundles, at a small scale (the IR shape —

@@ -121,6 +121,40 @@ impl Diagnostic {
     }
 }
 
+impl Diagnostic {
+    /// Serializes the diagnostic as one compact JSON object (for the
+    /// CLI's `--json` mode and downstream tooling). Optional fields
+    /// render as `null`.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let opt = |v: Option<u64>| v.map(|n| n.to_string()).unwrap_or_else(|| "null".into());
+        format!(
+            "{{\"severity\":\"{}\",\"pass\":\"{}\",\"func\":\"{}\",\"func_id\":{},\
+             \"inst\":{},\"queue\":{},\"message\":\"{}\"}}",
+            self.severity,
+            esc(self.pass),
+            esc(&self.func),
+            self.func_id.index(),
+            opt(self.inst.map(|i| i.index() as u64)),
+            opt(self.queue.map(u64::from)),
+            esc(&self.message)
+        )
+    }
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.render(None, None))
@@ -138,6 +172,22 @@ impl LintReport {
     fn finish(mut self) -> LintReport {
         self.diagnostics
             .sort_by(|a, b| b.severity.cmp(&a.severity).then(a.func_id.cmp(&b.func_id)));
+        // Cross-pass span dedup: when several passes anchor a finding on
+        // the same instruction, keep only the first (most severe) one —
+        // the others restate the same root cause. Same-pass findings at
+        // one instruction are distinct problems and all survive.
+        let mut kept: Vec<(FuncId, InstId, &'static str)> = Vec::new();
+        self.diagnostics.retain(|d| {
+            let Some(inst) = d.inst else { return true };
+            if kept
+                .iter()
+                .any(|&(f, i, p)| f == d.func_id && i == inst && p != d.pass)
+            {
+                return false;
+            }
+            kept.push((d.func_id, inst, d.pass));
+            true
+        });
         self
     }
 
@@ -240,17 +290,7 @@ pub(crate) fn eval_count(
     factors: Option<&[mosaic_ir::analysis::Trip]>,
     args: &[Option<i64>],
 ) -> Option<i64> {
-    use mosaic_ir::analysis::Trip;
-    let mut n: i64 = 1;
-    for t in factors? {
-        let v = match t {
-            Trip::Const(c) => *c,
-            Trip::Param(p) => args.get(*p as usize).copied().flatten()?,
-            Trip::Unknown => return None,
-        };
-        n = n.saturating_mul(v.max(0));
-    }
-    Some(n)
+    mosaic_ir::analysis::footprint::eval_trip_product(factors, args)
 }
 
 /// Lints a module in isolation (no tile mapping): all per-function
@@ -307,5 +347,71 @@ mod tests {
         assert!(!report.fails(LintLevel::Warn));
         assert!(!report.fails(LintLevel::Off));
         assert!(!LintReport::default().fails(LintLevel::Deny));
+    }
+
+    fn diag(pass: &'static str, severity: Severity, inst: Option<u32>) -> Diagnostic {
+        Diagnostic {
+            severity,
+            pass,
+            func: "f".into(),
+            func_id: FuncId(0),
+            inst: inst.map(InstId),
+            queue: None,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn finish_dedups_identical_spans_across_passes_only() {
+        let report = LintReport {
+            diagnostics: vec![
+                diag("a", Severity::Warning, Some(3)),
+                diag("b", Severity::Error, Some(3)),   // same span, other pass
+                diag("a", Severity::Warning, Some(3)), // same span, same pass
+                diag("a", Severity::Warning, None),    // spanless: never deduped
+                diag("b", Severity::Warning, None),
+            ],
+        }
+        .finish();
+        // The error sorts first and wins the span; pass `a`'s findings
+        // at inst 3 are cross-pass duplicates and drop, while the
+        // spanless findings always survive.
+        assert_eq!(report.diagnostics.len(), 3);
+        assert_eq!(report.diagnostics[0].severity, Severity::Error);
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.inst == Some(InstId(3)))
+                .count(),
+            1,
+            "only the most severe finding keeps the span"
+        );
+        assert_eq!(report.diagnostics.iter().filter(|d| d.inst.is_none()).count(), 2);
+
+        // Same-pass findings at one span are distinct problems: kept.
+        let report = LintReport {
+            diagnostics: vec![
+                diag("a", Severity::Warning, Some(3)),
+                diag("a", Severity::Warning, Some(3)),
+            ],
+        }
+        .finish();
+        assert_eq!(report.diagnostics.len(), 2);
+    }
+
+    #[test]
+    fn diagnostic_json_escapes_and_nulls() {
+        let mut d = diag("channel-protocol", Severity::Error, Some(7));
+        d.queue = Some(2);
+        d.message = "line1\n\"quoted\"".into();
+        let j = d.to_json();
+        assert_eq!(
+            j,
+            "{\"severity\":\"error\",\"pass\":\"channel-protocol\",\"func\":\"f\",\
+             \"func_id\":0,\"inst\":7,\"queue\":2,\"message\":\"line1\\n\\\"quoted\\\"\"}"
+        );
+        let d = diag("race", Severity::Warning, None);
+        assert!(d.to_json().contains("\"inst\":null,\"queue\":null"));
     }
 }

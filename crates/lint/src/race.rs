@@ -17,8 +17,9 @@
 //! dependent indices) are skipped entirely, so SPMD kernels that
 //! partition an array by tile id produce no findings.
 
-use mosaic_ir::analysis::{find_loops, Cfg, ExecCounts};
-use mosaic_ir::{BinOp, Constant, Function, InstId, IntPredicate, Module, Opcode, Operand, Type};
+use mosaic_ir::analysis::footprint::{access_size, addr_range, iv_ranges};
+use mosaic_ir::analysis::{Cfg, ExecCounts};
+use mosaic_ir::{InstId, Module, Opcode};
 
 use crate::{eval_count, Diagnostic, LintReport, Severity, TileBinding};
 
@@ -31,107 +32,6 @@ struct Access {
     is_store: bool,
     lo: i64,
     hi: i64,
-}
-
-/// Evaluates an operand to a known integer under the bound arguments.
-fn known_int(op: &Operand, args: &[Option<i64>]) -> Option<i64> {
-    match op {
-        Operand::Const(Constant::Int(v, _)) => Some(*v),
-        Operand::Param(p) => args.get(*p as usize).copied().flatten(),
-        _ => None,
-    }
-}
-
-/// Inclusive range `[lo, hi]` of values a counted-loop induction phi can
-/// take, for phis matching the canonical `emit_counted_loop` shape with
-/// statically known bounds. Returns `None` for anything else.
-fn iv_ranges(
-    func: &Function,
-    cfg: &Cfg,
-    dom: &mosaic_ir::analysis::DomTree,
-    args: &[Option<i64>],
-) -> Vec<(InstId, i64, i64)> {
-    let mut out = Vec::new();
-    for lp in find_loops(func, cfg, dom) {
-        if lp.latches.len() != 1 {
-            continue;
-        }
-        let latch = lp.latches[0];
-        let header = func.block(lp.header);
-        let Some(term) = header.terminator() else { continue };
-        let Opcode::CondBr { cond: Operand::Inst(cmp), .. } = func.inst(term).op() else {
-            continue;
-        };
-        let Opcode::ICmp { pred: IntPredicate::Slt, lhs: Operand::Inst(phi_id), rhs } =
-            func.inst(*cmp).op()
-        else {
-            continue;
-        };
-        let Opcode::Phi { incoming } = func.inst(*phi_id).op() else { continue };
-        if incoming.len() != 2 {
-            continue;
-        }
-        let mut start = None;
-        let mut step_ok = false;
-        for (pred, val) in incoming {
-            if *pred == latch {
-                if let Operand::Inst(add) = val {
-                    if let Opcode::Bin { op: BinOp::Add, lhs, rhs } = func.inst(*add).op() {
-                        step_ok = *lhs == Operand::Inst(*phi_id)
-                            && matches!(rhs, Operand::Const(Constant::Int(1, _)));
-                    }
-                }
-            } else {
-                start = known_int(val, args);
-            }
-        }
-        let (Some(s), Some(e)) = (start, known_int(rhs, args)) else { continue };
-        if step_ok && e > s {
-            out.push((*phi_id, s, e - 1));
-        }
-    }
-    out
-}
-
-/// Resolves the inclusive range of start addresses an address operand can
-/// evaluate to, walking GEP chains down to pointer parameters/constants.
-fn addr_range(
-    func: &Function,
-    op: &Operand,
-    args: &[Option<i64>],
-    ivs: &[(InstId, i64, i64)],
-) -> Option<(i64, i64)> {
-    if let Some(v) = known_int(op, args) {
-        return Some((v, v));
-    }
-    let Operand::Inst(id) = op else { return None };
-    let Opcode::Gep { base, index, elem_size } = func.inst(*id).op() else {
-        return None;
-    };
-    let (blo, bhi) = addr_range(func, base, args, ivs)?;
-    let (ilo, ihi) = if let Some(v) = known_int(index, args) {
-        (v, v)
-    } else if let Operand::Inst(iv) = index {
-        let &(_, lo, hi) = ivs.iter().find(|(p, _, _)| p == iv)?;
-        (lo, hi)
-    } else {
-        return None;
-    };
-    let es = *elem_size as i64;
-    Some((blo + ilo * es, bhi + ihi * es))
-}
-
-/// Width in bytes of the value moved by a load or store.
-fn access_size(func: &Function, op: &Opcode, ty: Type) -> i64 {
-    let t = match op {
-        Opcode::Store { value, .. } => match value {
-            Operand::Inst(id) => func.inst(*id).ty(),
-            Operand::Const(c) => c.ty(),
-            Operand::Param(p) => func.params()[*p as usize].1,
-        },
-        _ => ty,
-    };
-    i64::from(t.size_bytes().max(1))
 }
 
 /// Tiles are channel-connected when they share a system queue, directly
@@ -270,7 +170,7 @@ pub fn run(module: &Module, tiles: &[TileBinding], report: &mut LintReport) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mosaic_ir::{FuncId, FunctionBuilder};
+    use mosaic_ir::{Constant, FuncId, FunctionBuilder, Type};
 
     /// `f(ptr)`: for i in 0..8 { ptr[i] <- i } with an optional channel op.
     fn writer(m: &mut Module, name: &str, queue: Option<(u32, bool)>) -> FuncId {

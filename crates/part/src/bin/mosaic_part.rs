@@ -1,0 +1,240 @@
+//! `mosaic-part` — static interference analysis and BSP partition
+//! planning.
+//!
+//! ```text
+//! mosaic-part [--deny] [--json] [--kernels] [--tiles N] [--shards N] [FILE.mir ...]
+//! ```
+//!
+//! * `FILE.mir` arguments are parsed and analyzed with one tile per
+//!   function (offset 0, unknown arguments).
+//! * `--kernels` analyzes every bundled paper kernel as a configured
+//!   SPMD system with its real argument bindings (`--tiles` tiles).
+//! * `--shards N` selects the partition fan-out (default 2).
+//! * `--json` emits one JSON object with the interference graph, the
+//!   partition plan, and the graph lint findings per unit.
+//! * `--deny` exits non-zero when any multi-tile unit yields an
+//!   invalid or trivial plan, or when a unit is statically
+//!   unpartitionable without being listed in the known baseline —
+//!   the CI regression gate.
+//!
+//! Bounds assume static branch prediction (the in-order and
+//! out-of-order preset default); systems using perfect or bimodal
+//! predictors should derive their model via
+//! `SystemBuilder::compute_partition_plan`, which clears the gate
+//! bounds.
+
+use std::process::ExitCode;
+
+use mosaic_lint::{LintReport, TileBinding};
+use mosaic_part::{lint_partition, partition, InterferenceGraph, LatencyModel, MemGeometry};
+
+/// Bundled kernels that are expected to have an all-zero interference
+/// horizon (every tile pair shares a bank from cycle 0, so no BSP
+/// epoch is safe). A kernel becoming unpartitionable that is *not* on
+/// this list is a regression and fails `--deny`; a kernel dropping off
+/// the list is an improvement (update the list).
+const EXPECTED_UNPARTITIONABLE: &[&str] = &[
+    "bfs",
+    "cutcp",
+    "histo",
+    "mri-gridding",
+    "mri-q",
+    "sad",
+    "spmv",
+    "tpacf",
+    "projection",
+    "ewsd",
+    "sinkhorn-dense-heavy+accel",
+    "sinkhorn-equal-sparse-dense+accel",
+    "sinkhorn-sparse-heavy+accel",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mosaic-part [--deny] [--json] [--kernels] [--tiles N] [--shards N] [FILE.mir ...]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut kernels = false;
+    let mut tiles = 4usize;
+    let mut shards = 2usize;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--kernels" => kernels = true,
+            "--tiles" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => tiles = n,
+                _ => return usage(),
+            },
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => shards = n,
+                _ => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            _ => return usage(),
+        }
+    }
+    if !kernels && files.is_empty() {
+        return usage();
+    }
+
+    let mut failed = false;
+    let mut json_units: Vec<String> = Vec::new();
+    let mut units = 0usize;
+
+    let analyze = |name: &str, module: &mosaic_ir::Module, bindings: &[TileBinding], baseline: bool| -> (bool, Option<String>) {
+        let mut unit_failed = false;
+        let graph = InterferenceGraph::build(
+            module,
+            bindings,
+            MemGeometry::default(),
+            &LatencyModel::default(),
+        );
+        let plan = partition(&graph, shards);
+        let mut report = LintReport::default();
+        lint_partition(module, bindings, &graph, &mut report);
+
+        let unpartitionable = report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("statically unpartitionable"));
+        if let Err(e) = plan.validate(bindings.len(), graph.geometry.num_banks) {
+            eprintln!("{name}: INVALID plan: {e}");
+            unit_failed = true;
+        }
+        if deny && bindings.len() >= 2 && !plan.is_nontrivial() {
+            eprintln!("{name}: trivial plan for a {}-tile system", bindings.len());
+            unit_failed = true;
+        }
+        if deny && unpartitionable && !(baseline && EXPECTED_UNPARTITIONABLE.contains(&name)) {
+            eprintln!("{name}: statically-unpartitionable regression (not in baseline)");
+            unit_failed = true;
+        }
+
+        let mut json_unit = None;
+        if json {
+            let findings: Vec<String> =
+                report.diagnostics.iter().map(|d| d.to_json()).collect();
+            json_unit = Some(format!(
+                "{{\"unit\":\"{}\",\"tiles\":{},\"unpartitionable\":{},\
+                 \"graph\":{},\"plan\":{},\"findings\":[{}]}}",
+                name.replace('\\', "\\\\").replace('"', "\\\""),
+                bindings.len(),
+                unpartitionable,
+                graph.to_json(),
+                plan.to_json(),
+                findings.join(",")
+            ));
+        } else {
+            let h = if plan.epoch_horizon == u64::MAX {
+                "inf".to_string()
+            } else {
+                plan.epoch_horizon.to_string()
+            };
+            println!(
+                "{name}: {} tile(s) -> {} shard(s), epoch horizon {h}, cut {} / internal {}{}",
+                bindings.len(),
+                plan.shards.len(),
+                plan.cut_weight,
+                plan.internal_weight,
+                if unpartitionable { " [unpartitionable]" } else { "" }
+            );
+            for d in &report.diagnostics {
+                println!("  {d}");
+            }
+        }
+        (unit_failed, json_unit)
+    };
+
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let module = match mosaic_ir::parse_module(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let bindings: Vec<TileBinding> = module
+            .functions()
+            .map(|f| TileBinding::new(f.id(), 0, vec![None; f.params().len()]))
+            .collect();
+        units += 1;
+        let (f, j) = analyze(path, &module, &bindings, false);
+        failed |= f;
+        json_units.extend(j);
+    }
+
+    if kernels {
+        for prepared in bundled_kernels() {
+            let bindings: Vec<TileBinding> = prepared
+                .programs(tiles)
+                .iter()
+                .map(TileBinding::from_program)
+                .collect();
+            units += 1;
+            let (f, j) = analyze(&prepared.name, &prepared.module, &bindings, true);
+            failed |= f;
+            json_units.extend(j);
+        }
+    }
+
+    if json {
+        println!("{{\"units\":[{}]}}", json_units.join(","));
+    } else {
+        println!(
+            "mosaic-part: {units} unit(s) analyzed into {shards} shard(s){}",
+            if deny { " (deny)" } else { "" }
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Every kernel the repository bundles, at a small scale (the graph
+/// shape is scale-independent; only trip-count weights change).
+fn bundled_kernels() -> Vec<mosaic_kernels::Prepared> {
+    use mosaic_kernels as k;
+    let mut out: Vec<k::Prepared> = Vec::new();
+    for name in k::PARBOIL_NAMES {
+        out.push(k::build_parboil(name, 1));
+    }
+    out.push(k::projection::build(1));
+    out.push(k::sinkhorn::ewsd(1));
+    out.push(k::sinkhorn::sgemm_micro(1));
+    out.push(k::sinkhorn::accel_sgemm_micro(1));
+    for mix in [
+        k::sinkhorn::Mix::DenseHeavy,
+        k::sinkhorn::Mix::Equal,
+        k::sinkhorn::Mix::SparseHeavy,
+    ] {
+        out.push(k::sinkhorn::combined(mix, 1, true));
+    }
+    for app in k::keras::all_apps() {
+        out.push(app.lower_accelerated());
+    }
+    out
+}

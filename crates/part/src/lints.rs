@@ -1,0 +1,224 @@
+//! Lint passes built on the interference graph.
+//!
+//! Two passes, reported through the standard [`mosaic_lint`]
+//! diagnostics so the CLI and the builder gate render them uniformly:
+//!
+//! * **partition** — tiles whose memory footprint could not be bounded
+//!   (they conservatively touch every bank, so no cut can isolate
+//!   them), and systems where every tile pair has a zero static
+//!   horizon (statically unpartitionable: a BSP schedule gains
+//!   nothing).
+//! * **bank-conflict** — banks whose static traffic estimate is a
+//!   hotspot: at least two tiles contend and the bank carries at least
+//!   twice the mean per-bank weight.
+
+use mosaic_ir::analysis::footprint::Footprint;
+use mosaic_ir::Module;
+use mosaic_lint::{Diagnostic, LintReport, Severity, TileBinding};
+
+use crate::graph::InterferenceGraph;
+
+/// Minimum absolute bank weight before the hotspot lint can fire;
+/// keeps one-off scalar accesses from tripping the 2× mean test on
+/// tiny kernels.
+const HOTSPOT_FLOOR: u64 = 16;
+
+/// Runs both graph lints for a system already summarized as `graph`
+/// (built from `module` and `tiles`), appending findings to `report`.
+pub fn run(
+    module: &Module,
+    tiles: &[TileBinding],
+    graph: &InterferenceGraph,
+    report: &mut LintReport,
+) {
+    // Unbounded footprints: name the first offending access.
+    for &t in &graph.unbounded_tiles {
+        let b = &tiles[t];
+        let func = module.function(b.func);
+        let fp = Footprint::compute(func, &b.args);
+        report.diagnostics.push(Diagnostic {
+            severity: Severity::Warning,
+            pass: "partition",
+            func: func.name().to_string(),
+            func_id: b.func,
+            inst: fp.unbounded.first().copied(),
+            queue: None,
+            message: format!(
+                "tile {t}: memory footprint is statically unbounded \
+                 ({} access(es) with unresolvable addresses) — the tile \
+                 interferes with every bank and cannot be isolated in a shard",
+                fp.unbounded.len()
+            ),
+        });
+    }
+
+    // Statically unpartitionable: every pair can interact at cycle 0.
+    if graph.tiles >= 2 {
+        let all_zero = (0..graph.tiles).all(|a| {
+            ((a + 1)..graph.tiles).all(|b| graph.pair_horizon(a, b) == 0)
+        });
+        if all_zero {
+            let b = &tiles[0];
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Warning,
+                pass: "partition",
+                func: module.function(b.func).name().to_string(),
+                func_id: b.func,
+                inst: None,
+                queue: None,
+                message: format!(
+                    "system is statically unpartitionable: all {} tile pairs \
+                     have a zero interference horizon, so no BSP epoch is safe",
+                    graph.tiles * (graph.tiles - 1) / 2
+                ),
+            });
+        }
+    }
+
+    // Bank hotspots: ≥2 tiles contending and ≥2× the mean weight.
+    let nbanks = graph.geometry.num_banks;
+    if nbanks > 0 && !graph.bank_edges.is_empty() {
+        let mut weight = vec![0u64; nbanks];
+        let mut owners: Vec<Vec<usize>> = vec![Vec::new(); nbanks];
+        for e in &graph.bank_edges {
+            weight[e.bank] = weight[e.bank].saturating_add(e.weight);
+            if !owners[e.bank].contains(&e.tile) {
+                owners[e.bank].push(e.tile);
+            }
+        }
+        let total: u64 = weight.iter().sum();
+        let mean = (total / nbanks as u64).max(1);
+        for bank in 0..nbanks {
+            if owners[bank].len() < 2 || weight[bank] < HOTSPOT_FLOOR || weight[bank] < 2 * mean {
+                continue;
+            }
+            // Attribute the finding to the heaviest contender.
+            let &heaviest = owners[bank]
+                .iter()
+                .max_by_key(|&&t| {
+                    graph
+                        .bank_edges
+                        .iter()
+                        .find(|e| e.tile == t && e.bank == bank)
+                        .map(|e| e.weight)
+                        .unwrap_or(0)
+                })
+                .unwrap();
+            let b = &tiles[heaviest];
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Warning,
+                pass: "bank-conflict",
+                func: module.function(b.func).name().to_string(),
+                func_id: b.func,
+                inst: None,
+                queue: None,
+                message: format!(
+                    "bank {bank} is a static hotspot: {} tiles contend for \
+                     weight {} (mean per-bank weight {mean}) — consider \
+                     restriding or re-binding buffers",
+                    owners[bank].len(),
+                    weight[bank]
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::horizon::LatencyModel;
+    use crate::MemGeometry;
+    use mosaic_ir::{Constant, FunctionBuilder, Type};
+
+    #[test]
+    fn unbounded_tile_and_zero_horizon_are_flagged() {
+        let mut m = Module::new("u");
+        let f = m.add_function("k", vec![("p".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let v = b.load(Type::I64, b.param(0));
+        b.store(v, Constant::i64(0).into());
+        b.ret(None);
+        let tiles = vec![
+            TileBinding::new(f, 0, vec![None]),
+            TileBinding::new(f, 0, vec![None]),
+        ];
+        let g = InterferenceGraph::build(
+            &m,
+            &tiles,
+            MemGeometry::new(4, 64),
+            &LatencyModel::default(),
+        );
+        let mut report = LintReport::default();
+        run(&m, &tiles, &g, &mut report);
+        assert_eq!(
+            report.diagnostics.iter().filter(|d| d.pass == "partition").count(),
+            3,
+            "two unbounded tiles plus the unpartitionable-system finding"
+        );
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("statically unpartitionable")));
+        assert!(report.diagnostics.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn disjoint_bounded_tiles_are_clean() {
+        let mut m = Module::new("c");
+        let f = m.add_function("k", vec![("p".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let p = b.param(0);
+        b.load(Type::I64, p);
+        b.ret(None);
+        let tiles = vec![
+            TileBinding::new(f, 0, vec![Some(0)]),
+            TileBinding::new(f, 0, vec![Some(192)]), // line 3 → bank 3
+        ];
+        let g = InterferenceGraph::build(
+            &m,
+            &tiles,
+            MemGeometry::new(8, 64),
+            &LatencyModel::default(),
+        );
+        let mut report = LintReport::default();
+        run(&m, &tiles, &g, &mut report);
+        assert!(report.is_clean(), "got: {report}");
+    }
+
+    #[test]
+    fn shared_hot_bank_is_flagged() {
+        let mut m = Module::new("h");
+        let f = m.add_function("k", vec![("p".into(), Type::Ptr)], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let e = b.create_block("entry");
+        b.switch_to(e);
+        let p = b.param(0);
+        // 64 iterations hammering one 8-byte slot: all weight on one bank.
+        b.emit_counted_loop("l", Constant::i64(0).into(), Constant::i64(64).into(), |b, _| {
+            let v = b.load(Type::I64, p);
+            b.store(p, v);
+        });
+        b.ret(None);
+        let tiles = vec![
+            TileBinding::new(f, 0, vec![Some(0)]),
+            TileBinding::new(f, 0, vec![Some(0)]),
+        ];
+        let g = InterferenceGraph::build(
+            &m,
+            &tiles,
+            MemGeometry::new(8, 64),
+            &LatencyModel::default(),
+        );
+        let mut report = LintReport::default();
+        run(&m, &tiles, &g, &mut report);
+        assert!(
+            report.diagnostics.iter().any(|d| d.pass == "bank-conflict"),
+            "got: {report}"
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! Static/dynamic differential tests for `mosaic-part` (DESIGN.md §4.7).
+//!
+//! The partitioner's contract is *conservatism*: every static bound it
+//! publishes must be a lower bound on what the timing simulator actually
+//! observes. These tests pin that contract against the Interleaver:
+//!
+//! * channel-edge send and delivery bounds never exceed the first
+//!   dynamically observed send/recv cycle, on both in-order and
+//!   out-of-order cores;
+//! * the counted-loop launch gate (the mechanism that makes post-loop
+//!   sends expensive) is conservative dynamically, not just in the
+//!   fixpoint's own unit tests;
+//! * the real DAE-sliced projection pipeline respects its statically
+//!   computed delivery bounds on every queue;
+//! * every bundled kernel yields a structurally valid plan whose JSON
+//!   round-trips bit-identically.
+//!
+//! The static model used throughout is [`LatencyModel::default`]
+//! (`alu = branch = channel = 1`, gate bounds on), which lower-bounds
+//! every system built here: all core presets use static branch
+//! prediction and both channel configs have latency 1.
+
+use std::sync::Arc;
+
+use mosaicsim::core::{record_trace, Interleaver, SimError};
+use mosaicsim::ir::{Constant, FuncId, MemImage, Module, RtVal, TileProgram, Type};
+use mosaicsim::kernels::{build_parboil, projection, sinkhorn, Prepared, PARBOIL_NAMES};
+use mosaicsim::lint::TileBinding;
+use mosaicsim::mem::MemoryHierarchy;
+use mosaicsim::part::{partition, InterferenceGraph, LatencyModel, MemGeometry, PartitionPlan};
+use mosaicsim::prelude::*;
+use mosaicsim::tile::{ChannelSet, CoreTile, NoAccel, Tile};
+
+/// Steps `il` to completion (capped) and returns, for each watched
+/// queue, the first cycle a send completed and the first cycle a recv
+/// completed (`None` = never happened).
+fn observe_first_cycles(
+    mut il: Interleaver,
+    queues: &[u32],
+) -> Vec<(Option<u64>, Option<u64>)> {
+    il.set_fast_forward(false);
+    let mut first: Vec<(Option<u64>, Option<u64>)> = vec![(None, None); queues.len()];
+    for _ in 0..2_000_000u64 {
+        let now = il.now();
+        let done = match il.step() {
+            Ok(d) => d,
+            Err(SimError::Deadlock { .. }) => break,
+            Err(e) => panic!("step failed: {e}"),
+        };
+        for (i, &q) in queues.iter().enumerate() {
+            if let Some(ch) = il.channels().channel(q) {
+                if first[i].0.is_none() && ch.sends() > 0 {
+                    first[i].0 = Some(now);
+                }
+                if first[i].1.is_none() && ch.recvs() > 0 {
+                    first[i].1 = Some(now);
+                }
+            }
+        }
+        if done {
+            return first;
+        }
+    }
+    panic!("cycle cap exceeded before completion");
+}
+
+/// Builds an Interleaver over `configs[i]` running `funcs[i]` with the
+/// recorded per-tile traces.
+fn interleaver(
+    module: Arc<Module>,
+    trace: &KernelTrace,
+    parts: &[(CoreConfig, FuncId)],
+    channel: ChannelConfig,
+) -> Interleaver {
+    let tiles: Vec<Box<dyn Tile>> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, (cfg, f))| {
+            Box::new(CoreTile::new(
+                cfg.clone(),
+                module.clone(),
+                *f,
+                Arc::new(trace.tile(i).clone()),
+                i,
+            )) as Box<dyn Tile>
+        })
+        .collect();
+    let mem = MemoryHierarchy::new(mosaicsim::core::small_memory(), parts.len());
+    Interleaver::new(tiles, mem, ChannelSet::new(channel), Box::new(NoAccel))
+}
+
+/// Asserts every channel edge's static bounds against the dynamics:
+/// `min_delivery - channel` never exceeds the first observed send, and
+/// `min_delivery` never exceeds the first observed recv.
+fn assert_edges_conservative(
+    graph: &InterferenceGraph,
+    model: &LatencyModel,
+    il: Interleaver,
+    label: &str,
+) {
+    assert!(
+        !graph.channel_edges.is_empty(),
+        "{label}: expected at least one channel edge"
+    );
+    let queues: Vec<u32> = graph.channel_edges.iter().map(|e| e.queue).collect();
+    let observed = observe_first_cycles(il, &queues);
+    for (e, (send, recv)) in graph.channel_edges.iter().zip(&observed) {
+        let send = send.unwrap_or_else(|| panic!("{label}: q{} never sent", e.queue));
+        let recv = recv.unwrap_or_else(|| panic!("{label}: q{} never received", e.queue));
+        let static_send = e.min_delivery - model.channel;
+        assert!(
+            static_send <= send,
+            "{label}: q{}: static send bound {static_send} > observed first send {send}",
+            e.queue
+        );
+        assert!(
+            e.min_delivery <= recv,
+            "{label}: q{}: static delivery bound {} > observed first recv {recv}",
+            e.queue,
+            e.min_delivery
+        );
+    }
+}
+
+/// Producer sends `n` values in a loop; consumer receives `n` values.
+fn chatter_module() -> (Module, FuncId, FuncId) {
+    let mut m = Module::new("chatter");
+    let produce = m.add_function("produce", vec![("n".into(), Type::I64)], Type::Void);
+    let mut b = FunctionBuilder::new(m.function_mut(produce));
+    let n = b.param(0);
+    let e = b.create_block("entry");
+    b.switch_to(e);
+    b.emit_counted_loop("i", Constant::i64(0).into(), n, |b, i| {
+        b.send(0, i);
+    });
+    b.ret(None);
+
+    let consume = m.add_function("consume", vec![("n".into(), Type::I64)], Type::Void);
+    let mut b = FunctionBuilder::new(m.function_mut(consume));
+    let n = b.param(0);
+    let e = b.create_block("entry");
+    b.switch_to(e);
+    b.emit_counted_loop("i", Constant::i64(0).into(), n, |b, _i| {
+        b.recv(0, Type::I64);
+    });
+    b.ret(None);
+    verify_module(&m).expect("verify");
+    (m, produce, consume)
+}
+
+/// Producer runs a 100-trip compute loop, then sends once; consumer
+/// receives once. The static send bound carries the loop's launch gate
+/// (~trip count), so this exercises the expensive half of the analysis.
+fn gated_module() -> (Module, FuncId, FuncId) {
+    let mut m = Module::new("gated");
+    let produce = m.add_function("produce", vec![("n".into(), Type::I64)], Type::Void);
+    let mut b = FunctionBuilder::new(m.function_mut(produce));
+    let n = b.param(0);
+    let e = b.create_block("entry");
+    b.switch_to(e);
+    b.emit_counted_loop("i", Constant::i64(0).into(), n, |_b, _i| {});
+    b.send(0, Constant::i64(7).into());
+    b.ret(None);
+
+    let consume = m.add_function("consume", vec![], Type::Void);
+    let mut b = FunctionBuilder::new(m.function_mut(consume));
+    let e = b.create_block("entry");
+    b.switch_to(e);
+    b.recv(0, Type::I64);
+    b.ret(None);
+    verify_module(&m).expect("verify");
+    (m, produce, consume)
+}
+
+fn chatter_channel() -> ChannelConfig {
+    ChannelConfig {
+        capacity: 8,
+        latency: 1,
+    }
+}
+
+#[test]
+fn chatter_bounds_are_conservative_on_both_core_models() {
+    let (m, produce, consume) = chatter_module();
+    let n = 50i64;
+    let bindings = vec![
+        TileBinding::new(produce, 0, vec![Some(n)]),
+        TileBinding::new(consume, 0, vec![Some(n)]),
+    ];
+    let model = LatencyModel::default();
+    let graph = InterferenceGraph::build(&m, &bindings, MemGeometry::default(), &model);
+
+    let programs = vec![
+        TileProgram::single(produce, vec![RtVal::Int(n)]),
+        TileProgram::single(consume, vec![RtVal::Int(n)]),
+    ];
+    let (trace, _) = record_trace(&m, MemImage::new(), &programs).expect("trace");
+    let module = Arc::new(m);
+    for config in [CoreConfig::in_order(), CoreConfig::out_of_order()] {
+        let name = config.name.clone();
+        let il = interleaver(
+            module.clone(),
+            &trace,
+            &[(config.clone(), produce), (config, consume)],
+            chatter_channel(),
+        );
+        assert_edges_conservative(&graph, &model, il, &format!("chatter/{name}"));
+    }
+}
+
+#[test]
+fn counted_loop_gate_bound_is_conservative_dynamically() {
+    let (m, produce, consume) = gated_module();
+    let trips = 100i64;
+    let bindings = vec![
+        TileBinding::new(produce, 0, vec![Some(trips)]),
+        TileBinding::new(consume, 0, vec![]),
+    ];
+    let model = LatencyModel::default();
+    let graph = InterferenceGraph::build(&m, &bindings, MemGeometry::default(), &model);
+    let edge = graph
+        .channel_edges
+        .iter()
+        .find(|e| e.queue == 0)
+        .expect("produce→consume edge");
+    assert!(
+        edge.min_delivery >= trips as u64,
+        "the post-loop send must carry the launch gate, got {}",
+        edge.min_delivery
+    );
+
+    let programs = vec![
+        TileProgram::single(produce, vec![RtVal::Int(trips)]),
+        TileProgram::single(consume, vec![]),
+    ];
+    let (trace, _) = record_trace(&m, MemImage::new(), &programs).expect("trace");
+    let module = Arc::new(m);
+    for config in [CoreConfig::in_order(), CoreConfig::out_of_order()] {
+        let name = config.name.clone();
+        let il = interleaver(
+            module.clone(),
+            &trace,
+            &[(config.clone(), produce), (config, consume)],
+            chatter_channel(),
+        );
+        assert_edges_conservative(&graph, &model, il, &format!("gated/{name}"));
+    }
+}
+
+#[test]
+fn dae_projection_delivery_bounds_are_conservative() {
+    let mut p = projection::build_with(40, 64);
+    let slices = slice_dae(&mut p.module, p.func, DaeQueues::default()).expect("sliceable");
+    let programs = vec![
+        TileProgram::single(slices.access, p.args.clone()),
+        TileProgram::single(slices.execute, p.args.clone()),
+    ];
+    let bindings: Vec<TileBinding> = programs.iter().map(TileBinding::from_program).collect();
+    let model = LatencyModel::default();
+    let graph = InterferenceGraph::build(&p.module, &bindings, MemGeometry::default(), &model);
+
+    let (trace, _) = record_trace(&p.module, p.mem.clone(), &programs).expect("trace");
+    let module = Arc::new(p.module);
+    let il = interleaver(
+        module,
+        &trace,
+        &[
+            (CoreConfig::dae_access(), slices.access),
+            (CoreConfig::in_order(), slices.execute),
+        ],
+        dae_channel(),
+    );
+    assert_edges_conservative(&graph, &model, il, "dae-projection");
+}
+
+/// Every kernel the repository bundles, at a small scale (mirrors the
+/// `mosaic-part` CLI's `--kernels` list).
+fn bundled_kernels() -> Vec<Prepared> {
+    let mut out: Vec<Prepared> = PARBOIL_NAMES.iter().map(|n| build_parboil(n, 1)).collect();
+    out.push(projection::build(1));
+    out.push(sinkhorn::ewsd(1));
+    out.push(sinkhorn::sgemm_micro(1));
+    out.push(sinkhorn::accel_sgemm_micro(1));
+    for mix in [
+        sinkhorn::Mix::DenseHeavy,
+        sinkhorn::Mix::Equal,
+        sinkhorn::Mix::SparseHeavy,
+    ] {
+        out.push(sinkhorn::combined(mix, 1, true));
+    }
+    for app in mosaicsim::kernels::keras::all_apps() {
+        out.push(app.lower_accelerated());
+    }
+    out
+}
+
+#[test]
+fn bundled_kernel_plans_validate_and_round_trip_bit_identically() {
+    let model = LatencyModel::default();
+    let mut nontrivial = 0usize;
+    for p in bundled_kernels() {
+        for tiles in [2usize, 4] {
+            let bindings: Vec<TileBinding> = p
+                .programs(tiles)
+                .iter()
+                .map(TileBinding::from_program)
+                .collect();
+            let graph =
+                InterferenceGraph::build(&p.module, &bindings, MemGeometry::default(), &model);
+            for shards in [2usize, 4] {
+                let plan = partition(&graph, shards);
+                plan.validate(bindings.len(), graph.geometry.num_banks)
+                    .unwrap_or_else(|e| panic!("{}/{tiles}t/{shards}s: {e}", p.name));
+                let json = plan.to_json();
+                let back = PartitionPlan::from_json(&json)
+                    .unwrap_or_else(|e| panic!("{}/{tiles}t/{shards}s: {e}", p.name));
+                assert_eq!(
+                    back.to_json(),
+                    json,
+                    "{}/{tiles}t/{shards}s: JSON round trip must be bit-identical",
+                    p.name
+                );
+                if plan.is_nontrivial() {
+                    nontrivial += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        nontrivial >= 4,
+        "the statically partitionable kernels (lbm, sgemm, stencil) must \
+         yield non-trivial plans, got {nontrivial}"
+    );
+}
